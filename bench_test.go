@@ -1,0 +1,271 @@
+// Package repro's root benchmark file maps every table and figure of the
+// paper's evaluation onto testing.B benchmarks:
+//
+//	§5.2 micro table   BenchmarkMicro{Empty,ReadOne,Callback}{Trusted,Gated}
+//	Figure 3           BenchmarkFigure3Work*
+//	Table 1            BenchmarkTable1_* (one per suite per configuration)
+//	Table 2 / Figure 4 BenchmarkDromaeo*
+//	Figure 5           BenchmarkKraken*
+//	Figure 6           BenchmarkOctane*
+//	Figure 7 / Table 3 BenchmarkJetStream2*
+//	§5.3 sites         BenchmarkSitesPipeline
+//	Ablations          BenchmarkAblation*
+//
+// `go test -bench=. -benchmem` regenerates the raw series; cmd/pkru-bench
+// renders the same data in the paper's table layout.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/profile"
+	"repro/internal/provenance"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// --- §5.2 micro-benchmarks -------------------------------------------------
+
+func microCall(b *testing.B, lib, fn string) {
+	w, err := workload.NewMicroWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := w.Prog.Main()
+	var args []uint64
+	if fn == "read_one" {
+		args = []uint64{uint64(w.Shared)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := th.Call(lib, fn, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroEmptyTrusted(b *testing.B)   { microCall(b, workload.MicroTrustedLib, "empty") }
+func BenchmarkMicroEmptyGated(b *testing.B)     { microCall(b, workload.MicroUntrustedLib, "empty") }
+func BenchmarkMicroReadOneTrusted(b *testing.B) { microCall(b, workload.MicroTrustedLib, "read_one") }
+func BenchmarkMicroReadOneGated(b *testing.B)   { microCall(b, workload.MicroUntrustedLib, "read_one") }
+func BenchmarkMicroCallbackTrusted(b *testing.B) {
+	microCall(b, workload.MicroTrustedLib, "callback")
+}
+func BenchmarkMicroCallbackGated(b *testing.B) {
+	microCall(b, workload.MicroUntrustedLib, "callback")
+}
+
+// --- Figure 3: gate overhead vs work per transition ------------------------
+
+func BenchmarkFigure3(b *testing.B) {
+	for _, loops := range []int{0, 25, 100, 200} {
+		for _, lib := range []string{workload.MicroTrustedLib, workload.MicroUntrustedLib} {
+			name := fmt.Sprintf("loops=%d/%s", loops, lib)
+			b.Run(name, func(b *testing.B) {
+				w, err := workload.NewMicroWorld()
+				if err != nil {
+					b.Fatal(err)
+				}
+				th := w.Prog.Main()
+				args := []uint64{uint64(loops)}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := th.Call(lib, "work", args...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- browser suites (Tables 1-3, Figures 4-7) ------------------------------
+
+// benchWorkload runs one suite workload under one configuration per
+// iteration: the quantity the figures normalize.
+func benchWorkload(b *testing.B, w workload.Benchmark, cfg core.BuildConfig) {
+	opt := bench.Options{Scale: 1, Repeats: 1}
+	prof, err := bench.CollectBenchProfile(w, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var consumed *profile.Profile
+	if cfg == core.Alloc || cfg == core.MPK {
+		consumed = prof
+	}
+	br, err := browser.New(cfg, consumed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	page := w.HTML
+	if page == "" {
+		page = workload.HarnessPage
+	}
+	if err := br.LoadHTML(page); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := br.ExecScript(w.Setup); err != nil {
+		b.Fatal(err)
+	}
+	id, err := br.LookupScriptFunc("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.InvokeScriptFunc(id, w.N); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func suiteConfigBench(b *testing.B, w workload.Benchmark) {
+	for _, cfg := range []core.BuildConfig{core.Base, core.Alloc, core.MPK} {
+		b.Run(cfg.String(), func(b *testing.B) { benchWorkload(b, w, cfg) })
+	}
+}
+
+// Table 1 / Table 2 / Figure 4: Dromaeo, one representative benchmark per
+// sub-suite.
+func BenchmarkDromaeoDom(b *testing.B)       { suiteConfigBench(b, workload.Dromaeo()[0]) }
+func BenchmarkDromaeoV8(b *testing.B)        { suiteConfigBench(b, workload.Dromaeo()[5]) }
+func BenchmarkDromaeoJS(b *testing.B)        { suiteConfigBench(b, workload.Dromaeo()[9]) }
+func BenchmarkDromaeoSunspider(b *testing.B) { suiteConfigBench(b, workload.Dromaeo()[12]) }
+func BenchmarkDromaeoJslib(b *testing.B)     { suiteConfigBench(b, workload.Dromaeo()[15]) }
+
+// Figure 5: Kraken representatives.
+func BenchmarkKrakenFFT(b *testing.B)   { suiteConfigBench(b, workload.Kraken()[0]) }
+func BenchmarkKrakenAStar(b *testing.B) { suiteConfigBench(b, workload.Kraken()[7]) }
+func BenchmarkKrakenAES(b *testing.B)   { suiteConfigBench(b, workload.Kraken()[12]) }
+
+// Figure 6: Octane representatives.
+func BenchmarkOctaneDeltaBlue(b *testing.B) { suiteConfigBench(b, workload.Octane()[2]) }
+func BenchmarkOctaneSplay(b *testing.B)     { suiteConfigBench(b, workload.Octane()[7]) }
+func BenchmarkOctaneRayTrace(b *testing.B)  { suiteConfigBench(b, workload.Octane()[15]) }
+
+// Figure 7 / Table 3: JetStream2 representatives.
+func BenchmarkJetStream2Crypto(b *testing.B)  { suiteConfigBench(b, workload.JetStream2()[43]) }
+func BenchmarkJetStream2HashMap(b *testing.B) { suiteConfigBench(b, workload.JetStream2()[29]) }
+func BenchmarkJetStream2FloatMM(b *testing.B) { suiteConfigBench(b, workload.JetStream2()[32]) }
+
+// --- §5.3 allocation sites: one full pipeline run per iteration ------------
+
+func BenchmarkSitesPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunSites(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md) --------------------------------------------------
+
+// Split-allocator ablation: the same alloc/free churn against the arena
+// (MT's allocator) and the free list (MU's libc stand-in). The paper
+// hypothesizes MU's slower allocator explains most of the alloc-config
+// overhead; the delta here is that hypothesis in isolation.
+func BenchmarkAblationAllocator(b *testing.B) {
+	for _, which := range []string{"arena", "freelist"} {
+		b.Run(which, func(b *testing.B) {
+			space := vm.NewSpace()
+			region, err := space.Reserve("pool", 0x4000_0000, 1<<30, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var a heap.Allocator
+			if which == "arena" {
+				a = heap.NewArena(heap.NewPagePool(region))
+			} else {
+				a = heap.NewFreeList(heap.NewPagePool(region), space)
+			}
+			sizes := []uint64{16, 64, 256, 40, 1024, 8, 512}
+			var live [64]vm.Addr
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				slot := i % len(live)
+				if live[slot] != 0 {
+					if err := a.Free(live[slot]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				addr, err := a.Alloc(sizes[i%len(sizes)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				live[slot] = addr
+			}
+		})
+	}
+}
+
+// Gate-cost ablation: the same gated call with the WRPKRU serialization
+// model on (default) and off (zero-cost gates), quantifying how much of
+// the mpk overhead the WRPKRU model itself contributes.
+func BenchmarkAblationGateCost(b *testing.B) {
+	for _, cost := range []int{0, 100} {
+		b.Run(fmt.Sprintf("wrpkru=%d", cost), func(b *testing.B) {
+			w, err := workload.NewMicroWorld()
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Prog.Runtime().SetGateCost(cost)
+			th := w.Prog.Main()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := th.Call(workload.MicroUntrustedLib, "empty"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Metadata-store ablation: interior-pointer lookup cost in the interval
+// store vs the naive linear store at realistic live-object counts.
+func BenchmarkAblationMetadata(b *testing.B) {
+	for _, n := range []int{100, 10000} {
+		stores := map[string]provenance.Store{
+			"interval": provenance.NewIntervalStore(),
+			"linear":   provenance.NewLinearStore(),
+		}
+		for name, store := range stores {
+			b.Run(fmt.Sprintf("%s/live=%d", name, n), func(b *testing.B) {
+				for i := 0; i < n; i++ {
+					store.Track(provenance.Entry{
+						Base: vm.Addr(0x10000 + i*256),
+						Size: 128,
+						ID:   profile.AllocID{Func: "f", Site: uint32(i)},
+					})
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					addr := vm.Addr(0x10000 + (i%n)*256 + 64) // interior
+					if _, ok := store.Lookup(addr); !ok {
+						b.Fatal("lookup missed")
+					}
+				}
+			})
+		}
+	}
+}
+
+// Provenance-tracking ablation: the profiler's fault-record-single-step
+// loop per faulting access (the §4.3.2 hot path).
+func BenchmarkProfilerFaultPath(b *testing.B) {
+	prof, err := browser.CollectProfile(browser.StandardCorpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = prof
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := browser.CollectProfile(browser.StandardCorpus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into a test temp dir and returns its path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// TestCLIPipeline drives the shipped pkrusafe binary through the full E1
+// flow on the example program: profile, enforced run, crash without the
+// profile, static analysis, and the -trace crash dump.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pkrusafe := buildTool(t, "pkrusafe")
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "q.prof")
+	src := "examples/pkir/quickstart.pkir"
+
+	// Stage: profiling run writes the profile.
+	out, err := exec.Command(pkrusafe, "profile", src, "-o", prof).CombinedOutput()
+	if err != nil {
+		t.Fatalf("profile: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1337") || !strings.Contains(string(out), "1 shared allocation sites") {
+		t.Errorf("profile output:\n%s", out)
+	}
+	if _, err := os.Stat(prof); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage: enforced run with the profile succeeds.
+	out, err = exec.Command(pkrusafe, "run", src, "-profile", prof).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1337") || !strings.Contains(string(out), "mpk run returned") {
+		t.Errorf("run output:\n%s", out)
+	}
+
+	// Stage: enforced run without the profile crashes, and -trace dumps
+	// the gate context.
+	out, err = exec.Command(pkrusafe, "run", src, "-trace", "8").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unprofiled run should exit nonzero:\n%s", out)
+	}
+	for _, want := range []string{"program crashed", "SIGSEGV", "pkey=1", "gate-enter"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("crash output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Stage: static analysis produces an equivalent profile.
+	sprof := filepath.Join(dir, "s.prof")
+	out, err = exec.Command(pkrusafe, "analyze", src, "-o", sprof).CombinedOutput()
+	if err != nil {
+		t.Fatalf("analyze: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1 of 1 sites may escape") {
+		t.Errorf("analyze output:\n%s", out)
+	}
+	out, err = exec.Command(pkrusafe, "run", src, "-profile", sprof).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run with static profile: %v\n%s", err, out)
+	}
+
+	// Stage: build prints the instrumented IR with the rewrite visible.
+	out, err = exec.Command(pkrusafe, "build", src, "-profile", prof).CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ualloc 8") || !strings.Contains(string(out), "site=main@0.0") {
+		t.Errorf("instrumented IR missing rewrite:\n%s", out)
+	}
+}
+
+// TestCLIExploit runs the E3 binary end to end and checks both verdicts.
+func TestCLIExploit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	exploit := buildTool(t, "pkru-exploit")
+	out, err := exec.Command(exploit).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pkru-exploit: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"CORRUPTED — attack succeeded",
+		"MPK violation",
+		"INTACT — attack blocked",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exploit output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCLIProfileTools exercises pkru-profile show/merge/diff.
+func TestCLIProfileTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pkrusafe := buildTool(t, "pkrusafe")
+	profTool := buildTool(t, "pkru-profile")
+	dir := t.TempDir()
+	dyn := filepath.Join(dir, "d.prof")
+	static := filepath.Join(dir, "s.prof")
+	merged := filepath.Join(dir, "m.prof")
+
+	if out, err := exec.Command(pkrusafe, "profile", "examples/pkir/deadpath.pkir", "-o", dyn).CombinedOutput(); err != nil {
+		t.Fatalf("profile: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(pkrusafe, "analyze", "examples/pkir/deadpath.pkir", "-o", static).CombinedOutput(); err != nil {
+		t.Fatalf("analyze: %v\n%s", err, out)
+	}
+	// The dead-path program: dynamic sees nothing, static sees one site.
+	out, err := exec.Command(profTool, "diff", static, dyn).CombinedOutput()
+	if err == nil {
+		t.Fatalf("diff with missing sites should exit nonzero:\n%s", out)
+	}
+	if !strings.Contains(string(out), "main@0.0") {
+		t.Errorf("diff output:\n%s", out)
+	}
+	if out, err := exec.Command(profTool, "merge", static, dyn, "-o", merged).CombinedOutput(); err != nil {
+		t.Fatalf("merge: %v\n%s", err, out)
+	} else if !strings.Contains(string(out), "1 shared sites") {
+		t.Errorf("merge output:\n%s", out)
+	}
+	out, err = exec.Command(profTool, "show", merged).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "main@0.0") {
+		t.Errorf("show = %v:\n%s", err, out)
+	}
+	// Subset direction exits zero.
+	if out, err := exec.Command(profTool, "diff", dyn, merged).CombinedOutput(); err != nil {
+		t.Errorf("subset diff should pass: %v\n%s", err, out)
+	}
+}
+
+// TestCLIServo runs the browser simulator binary end to end in its
+// self-profiling mpk mode.
+func TestCLIServo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	servo := buildTool(t, "pkru-servo")
+	out, err := exec.Command(servo, "-config", "mpk").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pkru-servo: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"script result: 7", "config=mpk", "shared-sites="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("servo output missing %q:\n%s", want, text)
+		}
+	}
+	// Base config runs too, without gates.
+	out, err = exec.Command(servo, "-config", "base").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "transitions=0") {
+		t.Errorf("base servo: %v\n%s", err, out)
+	}
+}

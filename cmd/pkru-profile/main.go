@@ -1,0 +1,103 @@
+// Command pkru-profile manipulates sharing profiles, supporting the
+// paper's workflow of assembling the deployment profile from many
+// profiling runs (§5.3 merges Web Platform Tests, jQuery, Web-IDL and
+// Selenium browsing sessions into one corpus):
+//
+//	pkru-profile show  a.prof            list shared sites with counters
+//	pkru-profile merge a.prof b.prof ... -o combined.prof
+//	pkru-profile diff  a.prof b.prof     sites in a missing from b
+//
+// A non-empty diff against the deployed profile is exactly the situation
+// §6 warns about: flows the corpus missed will crash the enforced build.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/profile"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd := os.Args[1]
+	switch cmd {
+	case "show":
+		p := load(os.Args[2])
+		fmt.Printf("%d shared allocation site(s)\n", p.Len())
+		for _, id := range p.IDs() {
+			rec, _ := p.Get(id)
+			fmt.Printf("  %-40s faults=%-8d bytes=%d\n", id, rec.Faults, rec.Bytes)
+		}
+
+	case "merge":
+		var inputs []string
+		out := ""
+		args := os.Args[2:]
+		for i := 0; i < len(args); i++ {
+			if args[i] == "-o" && i+1 < len(args) {
+				out = args[i+1]
+				i++
+				continue
+			}
+			inputs = append(inputs, args[i])
+		}
+		if len(inputs) == 0 || out == "" {
+			usage()
+		}
+		merged := profile.New()
+		for _, in := range inputs {
+			merged.Merge(load(in))
+		}
+		data, err := json.MarshalIndent(merged, "", "  ")
+		exitOn(err)
+		exitOn(os.WriteFile(out, data, 0o644))
+		fmt.Printf("merged %d profile(s): %d shared sites -> %s\n", len(inputs), merged.Len(), out)
+
+	case "diff":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		a, b := load(os.Args[2]), load(os.Args[3])
+		onlyA := a.Diff(b)
+		if len(onlyA) == 0 {
+			fmt.Printf("%s ⊆ %s: every site covered\n", os.Args[2], os.Args[3])
+			return
+		}
+		fmt.Printf("%d site(s) in %s missing from %s (enforced builds using the latter would crash on these):\n",
+			len(onlyA), os.Args[2], os.Args[3])
+		for _, id := range onlyA {
+			fmt.Printf("  %s\n", id)
+		}
+		os.Exit(1)
+
+	default:
+		usage()
+	}
+}
+
+func load(path string) *profile.Profile {
+	data, err := os.ReadFile(path)
+	exitOn(err)
+	p := profile.New()
+	exitOn(json.Unmarshal(data, p))
+	return p
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pkru-profile show  <a.prof>
+  pkru-profile merge <a.prof> [b.prof ...] -o <out.prof>
+  pkru-profile diff  <a.prof> <b.prof>`)
+	os.Exit(2)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkru-profile:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,128 @@
+// Command pkru-servo runs the browser simulator on an HTML page and a
+// script under one of the paper's build configurations, optionally
+// collecting or consuming a sharing profile:
+//
+//	pkru-servo -config profiling -html page.html -script app.js -profile-out app.prof
+//	pkru-servo -config mpk -html page.html -script app.js -profile app.prof
+//
+// Without -html/-script a built-in demo page and script are used.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+const demoHTML = `
+<body>
+	<div id="app" class="demo">
+		<h1 id="title">pkru-servo</h1>
+		<ul id="items"><li>one</li><li>two</li></ul>
+	</div>
+</body>`
+
+const demoScript = `
+	var app = byId("app");
+	var title = byId("title");
+	print("title text: " + getText(title));
+	for (var i = 0; i < 5; i++) {
+		var li = createElement("li");
+		appendChild(byId("items"), li);
+		setText(li, "generated " + i);
+	}
+	reflow();
+	print("items: " + childCount(byId("items")));
+	childCount(byId("items"));
+`
+
+func main() {
+	cfgName := flag.String("config", "mpk", "base|alloc|mpk|profiling")
+	htmlPath := flag.String("html", "", "HTML file to load (default: built-in demo)")
+	scriptPath := flag.String("script", "", "script file to run (default: built-in demo)")
+	profileIn := flag.String("profile", "", "profile JSON consumed by alloc/mpk builds")
+	profileOut := flag.String("profile-out", "", "profile JSON written by a profiling build")
+	flag.Parse()
+
+	html, script := demoHTML, demoScript
+	if *htmlPath != "" {
+		data, err := os.ReadFile(*htmlPath)
+		exitOn(err)
+		html = string(data)
+	}
+	if *scriptPath != "" {
+		data, err := os.ReadFile(*scriptPath)
+		exitOn(err)
+		script = string(data)
+	}
+
+	var cfg core.BuildConfig
+	switch *cfgName {
+	case "base":
+		cfg = core.Base
+	case "alloc":
+		cfg = core.Alloc
+	case "mpk":
+		cfg = core.MPK
+	case "profiling":
+		cfg = core.Profiling
+	default:
+		fmt.Fprintf(os.Stderr, "pkru-servo: unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+
+	var prof *profile.Profile
+	if cfg == core.Alloc || cfg == core.MPK {
+		prof = profile.New()
+		if *profileIn != "" {
+			data, err := os.ReadFile(*profileIn)
+			exitOn(err)
+			exitOn(json.Unmarshal(data, prof))
+		} else if cfg == core.MPK {
+			// No profile given: collect one from this very workload, the
+			// way a developer would before shipping the enforced build.
+			fmt.Fprintln(os.Stderr, "pkru-servo: no -profile; collecting one from this workload first")
+			p, err := browser.CollectProfile(func(b *browser.Browser) error {
+				if err := b.LoadHTML(html); err != nil {
+					return err
+				}
+				_, err := b.ExecScript(script)
+				return err
+			}, browser.Options{ScriptOutput: os.Stderr})
+			exitOn(err)
+			prof = p
+		}
+	}
+
+	b, err := browser.New(cfg, prof, browser.Options{ScriptOutput: os.Stdout})
+	exitOn(err)
+	exitOn(b.LoadHTML(html))
+	result, err := b.ExecScript(script)
+	exitOn(err)
+	fmt.Printf("script result: %g\n", result)
+
+	st := b.Stats()
+	fmt.Printf("config=%v transitions=%d dom-ops=%d sites=%d shared-sites=%d %%MU=%.2f%%\n",
+		cfg, st.Transitions, st.DOMOps, st.TotalSites, st.UntrustedSites, 100*st.UntrustedShare)
+
+	if cfg == core.Profiling && *profileOut != "" {
+		p, err := b.Prog.RecordedProfile()
+		exitOn(err)
+		data, err := json.MarshalIndent(p, "", "  ")
+		exitOn(err)
+		exitOn(os.WriteFile(*profileOut, data, 0o644))
+		fmt.Printf("profile with %d shared sites written to %s\n", p.Len(), *profileOut)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkru-servo:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,172 @@
+// Command pkrusafe is the toolchain CLI over textual IR (.pkir) programs,
+// exposing the paper's four-stage pipeline (§3.1) as subcommands:
+//
+//	pkrusafe build   prog.pkir                 validate + instrument, print IR
+//	pkrusafe profile prog.pkir -o prog.prof    profiling run, write profile
+//	pkrusafe analyze prog.pkir -o prog.prof    static analysis, write profile
+//	pkrusafe run     prog.pkir [-profile p]    enforced (mpk) run
+//	pkrusafe exec    prog.pkir -config base    run under any configuration
+//
+// The instrumented IR printed by `build` shows the AllocIds, gate marks
+// and (with -profile) the alloc→ualloc rewrites the enforcement build
+// applies.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/ffi"
+	"repro/internal/interp"
+	"repro/internal/pkir"
+	"repro/internal/profile"
+	"repro/internal/static"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	profPath := fs.String("profile", "", "profile JSON to apply (run/exec/build)")
+	outPath := fs.String("o", "", "output path (profile subcommand)")
+	entry := fs.String("entry", "main", "entry function")
+	cfgName := fs.String("config", "mpk", "exec only: base|alloc|mpk|profiling")
+	traceN := fs.Int("trace", 0, "run/exec: keep the last N runtime events and dump them on crash")
+	exitOn(fs.Parse(os.Args[3:]))
+
+	src, err := os.ReadFile(path)
+	exitOn(err)
+	mod, err := pkir.Parse(string(src))
+	exitOn(err)
+
+	prof := profile.New()
+	if *profPath != "" {
+		data, err := os.ReadFile(*profPath)
+		exitOn(err)
+		exitOn(json.Unmarshal(data, prof))
+	}
+
+	switch cmd {
+	case "build":
+		var applied *profile.Profile
+		if *profPath != "" {
+			applied = prof
+		}
+		st, err := compile.Pipeline(mod, applied)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "pkrusafe: %d allocation sites, %d gates, %d address-taken, %d sites moved to MU\n",
+			st.AllocSites, st.Gates, st.AddressTaken, st.RewrittenMU)
+		fmt.Print(pkir.Format(mod))
+
+	case "profile":
+		_, err := compile.Pipeline(mod, nil)
+		exitOn(err)
+		prog, err := core.NewProgram(ffi.NewRegistry(), core.Profiling, nil)
+		exitOn(err)
+		m, err := interp.New(mod, prog, interp.Options{Output: os.Stdout})
+		exitOn(err)
+		res, err := m.Run(*entry)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "pkrusafe: profiling run returned %v\n", res)
+		recorded, err := prog.RecordedProfile()
+		exitOn(err)
+		data, err := json.MarshalIndent(recorded, "", "  ")
+		exitOn(err)
+		out := *outPath
+		if out == "" {
+			out = path + ".prof"
+		}
+		exitOn(os.WriteFile(out, data, 0o644))
+		fmt.Fprintf(os.Stderr, "pkrusafe: %d shared allocation sites written to %s\n", recorded.Len(), out)
+
+	case "analyze":
+		_, err := compile.Pipeline(mod, nil)
+		exitOn(err)
+		recorded, st, err := static.Analyze(mod)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "pkrusafe: static analysis converged in %d iteration(s): %d of %d sites may escape\n",
+			st.Iterations, st.EscapedSites, st.TotalSites)
+		data, err := json.MarshalIndent(recorded, "", "  ")
+		exitOn(err)
+		out := *outPath
+		if out == "" {
+			out = path + ".prof"
+		}
+		exitOn(os.WriteFile(out, data, 0o644))
+		fmt.Fprintf(os.Stderr, "pkrusafe: profile written to %s\n", out)
+
+	case "run", "exec":
+		cfg := core.MPK
+		if cmd == "exec" {
+			switch *cfgName {
+			case "base":
+				cfg = core.Base
+			case "alloc":
+				cfg = core.Alloc
+			case "mpk":
+				cfg = core.MPK
+			case "profiling":
+				cfg = core.Profiling
+			default:
+				exitOn(fmt.Errorf("unknown config %q", *cfgName))
+			}
+		}
+		var applied *profile.Profile
+		if cfg == core.MPK || cfg == core.Alloc {
+			applied = prof
+		}
+		_, err := compile.Pipeline(mod, applied)
+		exitOn(err)
+		var progProf *profile.Profile
+		if cfg == core.MPK || cfg == core.Alloc {
+			progProf = prof
+		}
+		var opts core.Options
+		var ring *trace.Ring
+		if *traceN > 0 {
+			ring = trace.NewRing(*traceN)
+			opts.Trace = ring
+		}
+		prog, err := core.NewProgram(ffi.NewRegistry(), cfg, progProf, opts)
+		exitOn(err)
+		m, err := interp.New(mod, prog, interp.Options{Output: os.Stdout})
+		exitOn(err)
+		res, err := m.Run(*entry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pkrusafe: program crashed: %v\n", err)
+			if ring != nil {
+				fmt.Fprintf(os.Stderr, "pkrusafe: last %d runtime event(s) before death:\n", ring.Len())
+				ring.Dump(os.Stderr)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pkrusafe: %v run returned %v (%d transitions)\n", cfg, res, prog.Transitions())
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pkrusafe build   <prog.pkir> [-profile p.prof]
+  pkrusafe profile <prog.pkir> [-o p.prof] [-entry main]
+  pkrusafe analyze <prog.pkir> [-o p.prof]
+  pkrusafe run     <prog.pkir> [-profile p.prof] [-entry main]
+  pkrusafe exec    <prog.pkir> -config base|alloc|mpk|profiling [-profile p.prof]`)
+	os.Exit(2)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkrusafe:", err)
+		os.Exit(1)
+	}
+}

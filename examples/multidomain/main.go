@@ -1,0 +1,77 @@
+// Multidomain demonstrates the §6 "more than two compartments" extension:
+// two untrusted libraries — a scripting engine and a media codec — each
+// get their own protection key and private pool, so a bug in one cannot
+// corrupt the other's data, while both still share the key-0 pool with
+// the trusted application.
+//
+// Run with: go run ./examples/multidomain
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/domains"
+	"repro/internal/vm"
+)
+
+func main() {
+	space := vm.NewSpace()
+	mgr, err := domains.NewManager(space)
+	exitOn(err)
+	js, err := mgr.AddDomain("js-engine")
+	exitOn(err)
+	codec, err := mgr.AddDomain("media-codec")
+	exitOn(err)
+	fmt.Printf("domains: %s (key %v), %s (key %v)\n", js.Name, js.Key, codec.Name, codec.Key)
+
+	th := vm.NewThread(space, nil)
+
+	// The trusted app sets up one buffer per compartment.
+	secret, err := mgr.AllocTrusted(8)
+	exitOn(err)
+	shared, err := mgr.AllocShared(8)
+	exitOn(err)
+	jsHeap, err := mgr.Alloc(js, 8)
+	exitOn(err)
+	codecHeap, err := mgr.Alloc(codec, 8)
+	exitOn(err)
+	for _, a := range []vm.Addr{secret, shared, jsHeap, codecHeap} {
+		exitOn(th.Store64(a, 7))
+	}
+
+	probe := func(name string, addr vm.Addr) {
+		if _, err := th.Load64(addr); err != nil {
+			fmt.Printf("    %-18s DENIED (MPK violation)\n", name)
+		} else {
+			fmt.Printf("    %-18s ok\n", name)
+		}
+	}
+
+	fmt.Println("inside the js-engine domain:")
+	restore := mgr.Enter(th, js)
+	probe("shared pool", shared)
+	probe("own pool", jsHeap)
+	probe("codec's pool", codecHeap)
+	probe("trusted heap", secret)
+	restore()
+
+	fmt.Println("inside the media-codec domain:")
+	restore = mgr.Enter(th, codec)
+	probe("shared pool", shared)
+	probe("own pool", codecHeap)
+	probe("js-engine's pool", jsHeap)
+	probe("trusted heap", secret)
+	restore()
+
+	fmt.Println("back in the trusted compartment:")
+	probe("everything (e.g. js pool)", jsHeap)
+	fmt.Println("mutually distrusting libraries, one address space, zero copies")
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multidomain:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// TestHeadlineClaims asserts the paper's four major claims (artifact
+// appendix A.4.1) end to end on the full stack:
+//
+//	C1 — intra-process heap isolation from library-level annotations;
+//	C2 — the pipeline scales to the full browser workload;
+//	C3 — overhead concentrates where compartment transitions do;
+//	C4 — the real-world-style exploit is defeated.
+func TestHeadlineClaims(t *testing.T) {
+	// C1+C2: profile the standard corpus, then run it enforced.
+	prof, err := browser.CollectProfile(browser.StandardCorpus)
+	if err != nil {
+		t.Fatalf("C2 profiling: %v", err)
+	}
+	b, err := browser.New(core.MPK, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := browser.StandardCorpus(b); err != nil {
+		t.Fatalf("C2 enforced corpus run: %v", err)
+	}
+	st := b.Stats()
+	if st.UntrustedSites == 0 || st.UntrustedSites*10 >= st.TotalSites {
+		t.Errorf("C1: site split %d/%d — expected a small shared fraction",
+			st.UntrustedSites, st.TotalSites)
+	}
+	if st.Transitions == 0 {
+		t.Error("C1: no gated transitions recorded")
+	}
+
+	// C3: transition counts differ by orders of magnitude between a DOM
+	// workload and a compute workload (deterministic proxy for the
+	// overhead shape).
+	domTrans := measureTransitions(t, `
+		var c = byId("content");
+		for (var i = 0; i < 50; i++) { setText(c, "x" + i); getText(c); }
+		0;`)
+	computeTrans := measureTransitions(t, `
+		var s = 0;
+		for (var i = 0; i < 5000; i++) s += i * i;
+		s;`)
+	if domTrans < 20*computeTrans {
+		t.Errorf("C3: dom transitions (%d) should dwarf compute transitions (%d)",
+			domTrans, computeTrans)
+	}
+
+	// C4: the CVE-analogue exploit corrupts the secret without
+	// protection and dies with it enabled.
+	exploit := `
+		var a = new IntArray(8);
+		var b = new IntArray(8);
+		a.setLength(4096);
+		var found = -1;
+		for (var i = 8; i < 2000; i++) {
+			if (a[i] == 0x4a53ce11) { found = i; break; }
+		}
+		a[found + 3] = 0x168000000000;
+		b[0] = 1337;
+		b[0];`
+	vuln, err := browser.New(core.Base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vuln.PlantSecret(42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vuln.ExecScript(exploit); err != nil {
+		t.Fatalf("C4 vulnerable run: %v", err)
+	}
+	if v, _ := vuln.SecretValue(); v != 1337 {
+		t.Errorf("C4: vulnerable secret = %d, want corrupted", v)
+	}
+	prot, err := browser.New(core.MPK, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prot.PlantSecret(42); err != nil {
+		t.Fatal(err)
+	}
+	_, err = prot.ExecScript(exploit)
+	var fault *vm.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("C4 protected run = %v, want MPK fault", err)
+	}
+	if v, _ := prot.SecretValue(); v != 42 {
+		t.Errorf("C4: protected secret = %d, want intact", v)
+	}
+}
+
+func measureTransitions(t *testing.T, script string) uint64 {
+	t.Helper()
+	const page = `<div id="content">seed</div>`
+	prof, err := browser.CollectProfile(func(b *browser.Browser) error {
+		if err := b.LoadHTML(page); err != nil {
+			return err
+		}
+		_, err := b.ExecScript(script)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := browser.New(core.MPK, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadHTML(page); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	return b.Stats().Transitions
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits a suite report as CSV — one row per benchmark with raw
+// seconds, normalized runtimes, transitions and %MU — so the figures can
+// be re-plotted outside the text renderer.
+func WriteCSV(w io.Writer, r SuiteReport) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"suite", "sub", "benchmark",
+		"base_s", "alloc_s", "mpk_s",
+		"alloc_norm", "mpk_norm",
+		"transitions", "mu_share",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		row := []string{
+			res.Bench.Suite, res.Bench.Sub, res.Bench.Name,
+			fmtF(res.Base.Seconds), fmtF(res.Alloc.Seconds), fmtF(res.MPK.Seconds),
+			fmtF(1 + res.AllocOverhead()), fmtF(1 + res.MPKOverhead()),
+			strconv.FormatUint(res.MPK.Transitions, 10),
+			fmtF(res.MPK.UntrustedShare),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// jsonReport is the serialized shape of a suite report.
+type jsonReport struct {
+	Suite   string `json:"suite"`
+	Results []struct {
+		Name        string  `json:"name"`
+		Sub         string  `json:"sub,omitempty"`
+		BaseS       float64 `json:"base_s"`
+		AllocS      float64 `json:"alloc_s"`
+		MPKS        float64 `json:"mpk_s"`
+		Transitions uint64  `json:"transitions"`
+		MUShare     float64 `json:"mu_share"`
+	} `json:"results"`
+	MeanAllocOverhead float64 `json:"mean_alloc_overhead"`
+	MeanMPKOverhead   float64 `json:"mean_mpk_overhead"`
+}
+
+// WriteJSON emits a suite report as JSON with suite-level aggregates.
+func WriteJSON(w io.Writer, r SuiteReport) error {
+	var out jsonReport
+	out.Suite = r.Suite
+	out.MeanAllocOverhead = r.MeanAllocOverhead()
+	out.MeanMPKOverhead = r.MeanMPKOverhead()
+	for _, res := range r.Results {
+		out.Results = append(out.Results, struct {
+			Name        string  `json:"name"`
+			Sub         string  `json:"sub,omitempty"`
+			BaseS       float64 `json:"base_s"`
+			AllocS      float64 `json:"alloc_s"`
+			MPKS        float64 `json:"mpk_s"`
+			Transitions uint64  `json:"transitions"`
+			MUShare     float64 `json:"mu_share"`
+		}{
+			Name:        res.Bench.Name,
+			Sub:         res.Bench.Sub,
+			BaseS:       res.Base.Seconds,
+			AllocS:      res.Alloc.Seconds,
+			MPKS:        res.MPK.Seconds,
+			Transitions: res.MPK.Transitions,
+			MUShare:     res.MPK.UntrustedShare,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("bench: encoding report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package browser
+
+import (
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// CollectProfile runs the corpus against a fresh Profiling build of the
+// browser and returns the recorded profile — stage 3 of the paper's
+// pipeline (§3.1). The corpus plays the role of the Web Platform Tests /
+// Selenium browsing sessions of §5.3: it should exercise every
+// cross-compartment data flow the deployed browser will perform, since
+// flows it misses will crash the enforced build.
+func CollectProfile(corpus func(*Browser) error, opts ...Options) (*profile.Profile, error) {
+	b, err := New(core.Profiling, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := corpus(b); err != nil {
+		return nil, err
+	}
+	return b.Prog.RecordedProfile()
+}
+
+// StandardCorpus is a profiling corpus that exercises the browser's
+// cross-compartment data flows: script sources, text references and
+// attribute references crossing into the engine, plus ordinary DOM
+// scripting. It stands in for the paper's WPT+jQuery+Web-IDL+Selenium
+// corpus.
+func StandardCorpus(b *Browser) error {
+	if err := b.LoadHTML(`
+		<div id="main" class="content">
+			<p id="p1">hello profiling</p>
+			<ul id="list"><li>one</li><li>two</li></ul>
+		</div>`); err != nil {
+		return err
+	}
+	_, err := b.ExecScript(`
+		var main = byId("main");
+		var p = byId("p1");
+		var t = getText(p);                 // text buffer crosses T->U
+		var cls = getAttr(main, "class");   // attr buffer crosses T->U
+		var d = createElement("div");
+		appendChild(main, d);
+		setText(d, t + "/" + cls);
+		setInnerHTML(d, "<span>x</span><span>y</span>");
+		var spans = queryTag("span");
+		reflow();
+		childCount(main) + spans.length;
+	`)
+	return err
+}

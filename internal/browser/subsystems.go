@@ -1,0 +1,87 @@
+package browser
+
+import (
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// subsystemSpec describes one browser subsystem's allocation sites: all
+// private trusted-heap traffic. Real Servo has thousands of such sites
+// (12088, of which the pipeline moved 274 — 2.26% — to MU, §5.3); this
+// roster gives the simulator the same shape: many registered sites, few
+// shared, so the §5.3 sites experiment measures a meaningful ratio.
+type subsystemSpec struct {
+	name  string
+	sites int    // distinct allocation call sites in the subsystem
+	size  uint64 // typical object size
+}
+
+var subsystemSpecs = []subsystemSpec{
+	{"servo::net::response_buffer", 4, 512},
+	{"servo::net::header_map", 3, 128},
+	{"servo::net::cookie_jar", 2, 96},
+	{"servo::css::stylesheet", 5, 256},
+	{"servo::css::rule", 8, 64},
+	{"servo::css::media_query", 2, 48},
+	{"servo::style::computed_values", 6, 160},
+	{"servo::font::glyph_cache", 4, 256},
+	{"servo::font::metrics", 2, 64},
+	{"servo::image::decode_buffer", 3, 1024},
+	{"servo::image::cache_entry", 2, 80},
+	{"servo::layout::fragment", 6, 96},
+	{"servo::layout::inline_box", 4, 64},
+	{"servo::text::shaper_run", 4, 128},
+	{"servo::history::entry", 2, 96},
+	{"servo::timer::entry", 2, 48},
+	{"servo::events::queue_node", 3, 64},
+	{"servo::script::microtask", 3, 48},
+	{"servo::dom::mutation_record", 3, 112},
+	{"servo::compositor::tile", 4, 512},
+	{"servo::profiler::sample", 2, 32},
+	{"servo::url::parsed", 3, 144},
+}
+
+// registerSubsystems registers every subsystem allocation site with the
+// program, so site counts reflect the whole binary, not just the code a
+// given page happens to execute — matching how AllocIds are assigned at
+// compile time over all of Servo.
+func (b *Browser) registerSubsystems() {
+	for _, spec := range subsystemSpecs {
+		sites := make([]*core.Site, spec.sites)
+		for i := range sites {
+			sites[i] = b.Prog.Site(spec.name, 0, uint32(i))
+		}
+		b.subsystems = append(b.subsystems, subsystem{spec: spec, sites: sites})
+	}
+}
+
+type subsystem struct {
+	spec  subsystemSpec
+	sites []*core.Site
+}
+
+// exerciseSubsystems performs one round of private browser work across
+// every subsystem: allocate at each site, touch the object, free it.
+// Called from LoadHTML — pages exercise the whole engine once — while
+// Housekeeping keeps the per-frame subset (layout/style) hot.
+func (b *Browser) exerciseSubsystems() error {
+	th := b.th()
+	for _, sub := range b.subsystems {
+		for _, site := range sub.sites {
+			addr, err := b.Prog.AllocAt(site, sub.spec.size)
+			if err != nil {
+				return err
+			}
+			if err := th.Store64(addr, uint64(site.ID.Site)+1); err != nil {
+				return err
+			}
+			if err := th.Store64(addr+vm.Addr(sub.spec.size)-8, sub.spec.size); err != nil {
+				return err
+			}
+			if err := b.Prog.Free(addr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

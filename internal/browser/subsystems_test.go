@@ -1,0 +1,57 @@
+package browser
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSubsystemsRegisteredUpFront(t *testing.T) {
+	b, err := New(core.Base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site count reflects the whole "binary" before any page loads.
+	rep := b.Prog.Report()
+	wantMin := 8 // the browser's own sites
+	for _, spec := range subsystemSpecs {
+		wantMin += spec.sites
+	}
+	if rep.TotalSites < wantMin {
+		t.Errorf("sites at startup = %d, want >= %d", rep.TotalSites, wantMin)
+	}
+}
+
+func TestSubsystemChurnDoesNotLeak(t *testing.T) {
+	b, err := New(core.Base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadHTML(`<p>x</p>`); err != nil {
+		t.Fatal(err)
+	}
+	before := b.Prog.Allocator().Stats().Trusted.BytesLive
+	for i := 0; i < 10; i++ {
+		if err := b.Housekeeping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := b.Prog.Allocator().Stats().Trusted.BytesLive
+	if after != before {
+		t.Errorf("housekeeping leaked: %d -> %d live bytes", before, after)
+	}
+}
+
+func TestSubsystemSitesStayPrivate(t *testing.T) {
+	prof, err := CollectProfile(StandardCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range prof.IDs() {
+		for _, spec := range subsystemSpecs {
+			if id.Func == spec.name {
+				t.Errorf("subsystem site %v wrongly profiled as shared", id)
+			}
+		}
+	}
+}

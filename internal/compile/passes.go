@@ -1,0 +1,233 @@
+// Package compile implements PKRU-Safe's compiler passes over the IR
+// (§4.1, §4.3): allocation-site identifier assignment, address-taken
+// analysis, call-gate insertion along the annotated compartment boundary,
+// and the profile-application pass that rewrites shared allocation sites
+// to draw from the untrusted pool. A Pipeline bundles them in the order
+// the paper's toolchain runs them.
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/profile"
+)
+
+// AssignAllocIDs gives every allocation instruction its (function,
+// basic-block, call-site) AllocId — the tuple the provenance runtime
+// records and the enforcement build matches against the profile. Site
+// numbering is per block, in instruction order, so the ids are stable
+// across rebuilds of an unchanged function. It returns the number of
+// allocation sites in the module.
+func AssignAllocIDs(m *ir.Module) int {
+	total := 0
+	for _, f := range m.Funcs {
+		for bi, b := range f.Blocks {
+			site := uint32(0)
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case ir.OpAlloc, ir.OpUAlloc, ir.OpRealloc, ir.OpSAlloc, ir.OpUSAlloc:
+					b.Instrs[i].Site = profile.AllocID{
+						Func:  f.Name,
+						Block: uint32(bi),
+						Site:  site,
+					}
+					site++
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+// MarkAddressTaken sets Func.AddressTaken for every function whose address
+// escapes via funcaddr. PKRU-Safe cannot reason about U's call graph, so
+// every such trusted function is conservatively treated as a potential
+// callback target and will receive an entry gate (§3.2).
+func MarkAddressTaken(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op != ir.OpFuncAddr {
+					continue
+				}
+				target, ok := m.Func(b.Instrs[i].Callee)
+				if !ok {
+					continue // Validate reports this
+				}
+				if !target.AddressTaken {
+					target.AddressTaken = true
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// InsertGates marks every direct call that crosses the annotated boundary
+// with the gate it must pass through: T→U calls get forward gates at the
+// call site (the transparent wrappers of §3.3), and U→T calls get reverse
+// gates. Indirect calls are resolved at run time against the callee's
+// NeedsEntryGate property, so this pass only handles OpCall. It returns
+// the number of gates inserted.
+func InsertGates(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				ins := &b.Instrs[i]
+				if ins.Op != ir.OpCall {
+					continue
+				}
+				callee, ok := m.Func(ins.Callee)
+				if !ok {
+					continue
+				}
+				switch {
+				case !f.Untrusted && callee.Untrusted:
+					ins.Gate = ir.GateEnterUntrusted
+					n++
+				case f.Untrusted && !callee.Untrusted:
+					ins.Gate = ir.GateEnterTrusted
+					n++
+				default:
+					ins.Gate = ir.GateNone
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ApplyProfile rewrites OpAlloc instructions whose AllocId appears in the
+// profile to OpUAlloc — the enforcement build's "update the call to the
+// allocator to use memory from MU" (§4.3.1). AssignAllocIDs must run
+// first. It returns the number of sites rewritten.
+func ApplyProfile(m *ir.Module, prof *profile.Profile) int {
+	n := 0
+	m.AllocSites(func(_ *ir.Func, _ *ir.Block, ins *ir.Instr) {
+		if !prof.Contains(ins.Site) {
+			return
+		}
+		switch ins.Op {
+		case ir.OpAlloc:
+			ins.Op = ir.OpUAlloc
+			n++
+		case ir.OpSAlloc:
+			// The §6 stack-protection prototype: profiled stack slots are
+			// rewritten to the shared pool exactly like heap sites.
+			ins.Op = ir.OpUSAlloc
+			n++
+		}
+	})
+	return n
+}
+
+// ValidationError aggregates the problems Validate found.
+type ValidationError struct {
+	Problems []string
+}
+
+func (e *ValidationError) Error() string {
+	if len(e.Problems) == 1 {
+		return "compile: " + e.Problems[0]
+	}
+	return fmt.Sprintf("compile: %d problems, first: %s", len(e.Problems), e.Problems[0])
+}
+
+// Validate checks module well-formedness: every block ends in a
+// terminator, branch targets and callees resolve, no instruction other
+// than the last is a terminator, and entry functions exist for parameters
+// referenced. It returns nil or a *ValidationError listing every problem.
+func Validate(m *ir.Module) error {
+	var probs []string
+	addf := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			addf("func %s: no blocks", f.Name)
+			continue
+		}
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				addf("func %s: block %s is empty", f.Name, b.Name)
+				continue
+			}
+			for i := range b.Instrs {
+				ins := &b.Instrs[i]
+				last := i == len(b.Instrs)-1
+				switch ins.Op {
+				case ir.OpBr:
+					if !last {
+						addf("func %s: block %s: br not at block end (line %d)", f.Name, b.Name, ins.Line)
+					}
+					for _, tgt := range []string{ins.Then, ins.Else} {
+						if _, ok := f.Block(tgt); !ok {
+							addf("func %s: br target %q undefined (line %d)", f.Name, tgt, ins.Line)
+						}
+					}
+				case ir.OpJmp:
+					if !last {
+						addf("func %s: block %s: jmp not at block end (line %d)", f.Name, b.Name, ins.Line)
+					}
+					if _, ok := f.Block(ins.Then); !ok {
+						addf("func %s: jmp target %q undefined (line %d)", f.Name, ins.Then, ins.Line)
+					}
+				case ir.OpRet:
+					if !last {
+						addf("func %s: block %s: ret not at block end (line %d)", f.Name, b.Name, ins.Line)
+					}
+				case ir.OpCall, ir.OpFuncAddr:
+					if _, ok := m.Func(ins.Callee); !ok {
+						addf("func %s: undefined callee %q (line %d)", f.Name, ins.Callee, ins.Line)
+					}
+					if ins.Op == ir.OpCall {
+						callee, ok := m.Func(ins.Callee)
+						if ok && len(ins.Args) != len(callee.Params) {
+							addf("func %s: call %s with %d args, want %d (line %d)",
+								f.Name, ins.Callee, len(ins.Args), len(callee.Params), ins.Line)
+						}
+					}
+				}
+			}
+			switch b.Terminator().Op {
+			case ir.OpBr, ir.OpJmp, ir.OpRet:
+			default:
+				addf("func %s: block %s does not end in a terminator", f.Name, b.Name)
+			}
+		}
+	}
+	if len(probs) > 0 {
+		return &ValidationError{Problems: probs}
+	}
+	return nil
+}
+
+// Stats summarizes what a Pipeline run did to the module.
+type Stats struct {
+	AllocSites   int // total allocation sites assigned ids
+	RewrittenMU  int // sites rewritten to ualloc by the profile
+	Gates        int // boundary-crossing direct calls gated
+	AddressTaken int // functions newly marked address-taken
+}
+
+// Pipeline runs the passes in toolchain order. prof may be nil (profile
+// and base builds); when present the profile is applied (enforcement and
+// alloc builds).
+func Pipeline(m *ir.Module, prof *profile.Profile) (Stats, error) {
+	var st Stats
+	if err := Validate(m); err != nil {
+		return st, err
+	}
+	st.AllocSites = AssignAllocIDs(m)
+	st.AddressTaken = MarkAddressTaken(m)
+	st.Gates = InsertGates(m)
+	if prof != nil {
+		st.RewrittenMU = ApplyProfile(m, prof)
+	}
+	return st, nil
+}

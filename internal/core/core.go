@@ -1,0 +1,318 @@
+// Package core is the public face of the PKRU-Safe reproduction: it wires
+// the simulated MPK hardware, the compartment-aware allocator, the FFI call
+// gates and the provenance profiler into the four build configurations the
+// paper evaluates, and exposes the allocation-site API through which an
+// application's trusted code allocates.
+//
+// The intended workflow is the paper's four-stage pipeline (§3.1):
+//
+//  1. annotate: declare each unsafe library Untrusted in an ffi.Registry;
+//  2. profile build: NewProgram(reg, Profiling, nil) — gates on, all heap
+//     data in MT, the provenance tracer recording every cross-compartment
+//     access by interposing on faults;
+//  3. profiling runs: exercise the program, then RecordedProfile();
+//  4. enforcement build: NewProgram(reg, MPK, prof) — allocation sites in
+//     the profile are rewritten to draw from MU, everything else stays in
+//     the now-inaccessible-from-U trusted pool.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ffi"
+	"repro/internal/pkalloc"
+	"repro/internal/profile"
+	"repro/internal/provenance"
+	"repro/internal/sig"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// BuildConfig selects which parts of PKRU-Safe's instrumentation a build
+// enables, matching the configurations of §5.3 plus the profiling build.
+type BuildConfig uint8
+
+const (
+	// Base: unmodified program — no heap split, no gates. The baseline.
+	Base BuildConfig = iota
+	// Alloc: pkalloc with the profile applied (shared sites served from
+	// MU's slower allocator) but no call gates. Isolates allocator cost.
+	Alloc
+	// MPK: the full system — profile applied and call gates enforcing the
+	// compartment boundary.
+	MPK
+	// Profiling: the instrumented profile build — gates on so untrusted
+	// accesses to MT fault, every trusted allocation tracked, faults
+	// recorded into a fresh profile and single-stepped past.
+	Profiling
+)
+
+func (c BuildConfig) String() string {
+	switch c {
+	case Base:
+		return "base"
+	case Alloc:
+		return "alloc"
+	case MPK:
+		return "mpk"
+	case Profiling:
+		return "profiling"
+	default:
+		return fmt.Sprintf("BuildConfig(%d)", uint8(c))
+	}
+}
+
+func (c BuildConfig) appliesProfile() bool { return c == Alloc || c == MPK }
+func (c BuildConfig) gatesOn() bool        { return c == MPK || c == Profiling }
+
+// Site is one registered allocation call site in trusted code. The
+// enforcement build decides once, at registration, which pool the site
+// draws from — the analogue of rewriting the allocator call in the IR.
+type Site struct {
+	ID   profile.AllocID
+	Pool pkalloc.Compartment
+
+	mu     sync.Mutex
+	allocs uint64
+	bytes  uint64
+}
+
+// Allocs returns how many allocations the site has served.
+func (s *Site) Allocs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocs
+}
+
+// Bytes returns how many bytes the site has served.
+func (s *Site) Bytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Program is one built instance of an application under a configuration.
+type Program struct {
+	cfg     BuildConfig
+	space   *vm.Space
+	alloc   *pkalloc.Allocator
+	sigs    *sig.Table
+	runtime *ffi.Runtime
+	tracer  *provenance.Tracer
+	applied *profile.Profile // profile consumed by Alloc/MPK builds
+
+	mu    sync.Mutex
+	sites map[profile.AllocID]*Site
+
+	main *ffi.Thread
+}
+
+// Options tunes NewProgram beyond the defaults.
+type Options struct {
+	// AllocConfig overrides pkalloc pool placement (zero fields default).
+	AllocConfig pkalloc.Config
+	// Store overrides the provenance metadata store (Profiling builds).
+	Store provenance.Store
+	// GateCost overrides the simulated per-WRPKRU cost (spin iterations).
+	// Nil keeps ffi.DefaultGateCost; a pointer to 0 makes gates free (for
+	// ablations).
+	GateCost *int
+	// Trace, when non-nil, records gate traversals and (in Profiling
+	// builds) fault handling into the ring for post-mortem dumps.
+	Trace *trace.Ring
+}
+
+// NewProgram builds a program from annotated libraries under the given
+// configuration. Alloc and MPK builds require the profile produced by a
+// prior Profiling run; Base and Profiling builds must pass nil.
+func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts ...Options) (*Program, error) {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	if cfg.appliesProfile() && prof == nil {
+		return nil, fmt.Errorf("core: %v build requires a profile; run a Profiling build first", cfg)
+	}
+	if !cfg.appliesProfile() && prof != nil {
+		return nil, fmt.Errorf("core: %v build does not consume a profile", cfg)
+	}
+	space := vm.NewSpace()
+	acfg := opt.AllocConfig
+	acfg.Space = space
+	alloc, err := pkalloc.New(acfg)
+	if err != nil {
+		return nil, err
+	}
+	sigs := new(sig.Table)
+	mode := ffi.GatesOff
+	if cfg.gatesOn() {
+		mode = ffi.GatesOn
+	}
+	p := &Program{
+		cfg:     cfg,
+		space:   space,
+		alloc:   alloc,
+		sigs:    sigs,
+		runtime: ffi.NewRuntime(reg, alloc, sigs, mode),
+		applied: prof,
+		sites:   make(map[profile.AllocID]*Site),
+	}
+	if opt.GateCost != nil {
+		p.runtime.SetGateCost(*opt.GateCost)
+	}
+	if opt.Trace != nil {
+		p.runtime.SetTrace(opt.Trace)
+	}
+	if cfg == Profiling {
+		p.tracer = provenance.NewTracer(opt.Store, profile.New(), alloc.TrustedKey())
+		if opt.Trace != nil {
+			p.tracer.SetTrace(opt.Trace)
+		}
+		// Installed immediately; applications that register their own
+		// SIGSEGV handlers first are chained to automatically.
+		p.tracer.Install(sigs)
+	}
+	p.main = p.runtime.NewThread()
+	return p, nil
+}
+
+// Config returns the build configuration.
+func (p *Program) Config() BuildConfig { return p.cfg }
+
+// Space returns the program's address space.
+func (p *Program) Space() *vm.Space { return p.space }
+
+// Allocator returns the program's pkalloc instance.
+func (p *Program) Allocator() *pkalloc.Allocator { return p.alloc }
+
+// Signals returns the program's signal table.
+func (p *Program) Signals() *sig.Table { return p.sigs }
+
+// Runtime returns the FFI runtime.
+func (p *Program) Runtime() *ffi.Runtime { return p.runtime }
+
+// Main returns the program's initial thread.
+func (p *Program) Main() *ffi.Thread { return p.main }
+
+// NewThread mints an additional execution context.
+func (p *Program) NewThread() *ffi.Thread { return p.runtime.NewThread() }
+
+// Tracer returns the provenance tracer (Profiling builds only, else nil).
+func (p *Program) Tracer() *provenance.Tracer { return p.tracer }
+
+// RecordedProfile returns the profile collected by a Profiling build.
+func (p *Program) RecordedProfile() (*profile.Profile, error) {
+	if p.tracer == nil {
+		return nil, errors.New("core: RecordedProfile on a non-profiling build")
+	}
+	return p.tracer.Profile(), nil
+}
+
+// Site registers (or returns) the allocation site identified by the
+// (function, block, site) tuple. On Alloc/MPK builds the pool decision is
+// made here, once: sites present in the applied profile draw from MU.
+func (p *Program) Site(fn string, block, site uint32) *Site {
+	id := profile.AllocID{Func: fn, Block: block, Site: site}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.sites[id]; ok {
+		return s
+	}
+	pool := pkalloc.Trusted
+	if p.cfg.appliesProfile() && p.applied.Contains(id) {
+		pool = pkalloc.Untrusted
+	}
+	s := &Site{ID: id, Pool: pool}
+	p.sites[id] = s
+	return s
+}
+
+// AllocAt serves an allocation from a registered site, routing to the pool
+// the build decided and feeding the provenance tracer in Profiling builds.
+func (p *Program) AllocAt(s *Site, size uint64) (vm.Addr, error) {
+	addr, err := p.alloc.AllocIn(s.Pool, size)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.allocs++
+	s.bytes += size
+	s.mu.Unlock()
+	if p.tracer != nil && s.Pool == pkalloc.Trusted {
+		p.tracer.LogAlloc(uint64(addr), size, s.ID)
+	}
+	return addr, nil
+}
+
+// Realloc resizes an allocation (pool-preserving) and keeps provenance
+// metadata attached to the object's original allocation site.
+func (p *Program) Realloc(addr vm.Addr, newSize uint64) (vm.Addr, error) {
+	newAddr, err := p.alloc.Realloc(addr, newSize)
+	if err != nil {
+		return 0, err
+	}
+	if p.tracer != nil {
+		p.tracer.LogRealloc(uint64(addr), uint64(newAddr), newSize)
+	}
+	return newAddr, nil
+}
+
+// Free releases an allocation and drops its provenance metadata.
+func (p *Program) Free(addr vm.Addr) error {
+	if p.tracer != nil {
+		p.tracer.LogDealloc(uint64(addr))
+	}
+	return p.alloc.Free(addr)
+}
+
+// SiteReport summarizes allocation-site placement, the source of the
+// paper's "274 of Servo's 12088 allocation sites" statistic and its %MU
+// column. UntrustedShare covers *instrumented sites only* — the trusted
+// program's own heap traffic, the paper's Rust-side view — not the
+// untrusted library's private mallocs, which always live in MU.
+type SiteReport struct {
+	TotalSites     int
+	UntrustedSites int
+	TotalAllocs    uint64
+	UntrustedShare float64 // fraction of site-allocated bytes served from MU
+}
+
+// Report computes the site placement summary for this build.
+func (p *Program) Report() SiteReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var r SiteReport
+	var tBytes, uBytes uint64
+	r.TotalSites = len(p.sites)
+	for _, s := range p.sites {
+		if s.Pool == pkalloc.Untrusted {
+			r.UntrustedSites++
+			uBytes += s.Bytes()
+		} else {
+			tBytes += s.Bytes()
+		}
+		r.TotalAllocs += s.Allocs()
+	}
+	if tBytes+uBytes > 0 {
+		r.UntrustedShare = float64(uBytes) / float64(tBytes+uBytes)
+	}
+	return r
+}
+
+// Sites returns the registered sites sorted by id (for reports and tests).
+func (p *Program) Sites() []*Site {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Site, 0, len(p.sites))
+	for _, s := range p.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.String() < out[j].ID.String() })
+	return out
+}
+
+// Transitions returns the number of compartment transitions performed.
+func (p *Program) Transitions() uint64 { return p.runtime.Transitions() }

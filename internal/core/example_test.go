@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ffi"
+	"repro/internal/vm"
+)
+
+// Example walks the full PKRU-Safe pipeline on a two-line program: an
+// untrusted library that doubles a value held in a trusted buffer.
+func Example() {
+	// 1. Annotate: one untrusted library (the 4 lines of developer effort).
+	reg := ffi.NewRegistry()
+	reg.MustLibrary("clib", ffi.Untrusted).Define("double",
+		func(th *ffi.Thread, args []uint64) ([]uint64, error) {
+			p := vm.Addr(args[0])
+			v, err := th.Load64(p)
+			if err != nil {
+				return nil, err
+			}
+			return nil, th.Store64(p, v*2)
+		})
+
+	run := func(p *core.Program) (uint64, error) {
+		buf, err := p.AllocAt(p.Site("main", 0, 0), 8)
+		if err != nil {
+			return 0, err
+		}
+		if err := p.Main().VM.Store64(buf, 21); err != nil {
+			return 0, err
+		}
+		if _, err := p.Main().Call("clib", "double", uint64(buf)); err != nil {
+			return 0, err
+		}
+		return p.Main().VM.Load64(buf)
+	}
+
+	// 2-3. Profile build + profiling run.
+	prof, _ := core.NewProgram(reg, core.Profiling, nil)
+	if _, err := run(prof); err != nil {
+		fmt.Println("profiling failed:", err)
+		return
+	}
+	recorded, _ := prof.RecordedProfile()
+	fmt.Println("shared sites:", recorded.Len())
+
+	// 4. Enforcement build consuming the profile.
+	enforced, _ := core.NewProgram(reg, core.MPK, recorded)
+	v, err := run(enforced)
+	if err != nil {
+		fmt.Println("enforced run failed:", err)
+		return
+	}
+	fmt.Println("value:", v)
+	fmt.Println("transitions:", enforced.Transitions())
+	// Output:
+	// shared sites: 1
+	// value: 42
+	// transitions: 1
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ffi"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// TestTraceCapturesCrashContext: the event ring attached to a program
+// records the gate entry and (during profiling) the fault/record/resume
+// sequence — the post-mortem a developer reads after a missed-profile
+// crash.
+func TestTraceCapturesCrashContext(t *testing.T) {
+	reg := ffi.NewRegistry()
+	reg.MustLibrary("clib", ffi.Untrusted).Define("touch", func(th *ffi.Thread, args []uint64) ([]uint64, error) {
+		v, err := th.Load64(vm.Addr(args[0]))
+		return []uint64{v}, err
+	})
+	ring := trace.NewRing(32)
+	prog, err := NewProgram(reg, Profiling, nil, Options{Trace: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := prog.Site("main", 0, 0)
+	buf, err := prog.AllocAt(site, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Main().Call("clib", "touch", uint64(buf)); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []trace.Kind
+	for _, e := range ring.Snapshot() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []trace.Kind{trace.GateEnter, trace.Record, trace.Fault, trace.Resume, trace.GateExit}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+	// The record event names the allocation site.
+	if note := ring.Snapshot()[1].Note; note != "main@0.0" {
+		t.Errorf("record note = %q", note)
+	}
+}
+
+// TestTraceOnEnforcedCrash: in an MPK build the ring retains the gate
+// entry that preceded the fatal access.
+func TestTraceOnEnforcedCrash(t *testing.T) {
+	reg := ffi.NewRegistry()
+	reg.MustLibrary("clib", ffi.Untrusted).Define("touch", func(th *ffi.Thread, args []uint64) ([]uint64, error) {
+		v, err := th.Load64(vm.Addr(args[0]))
+		return []uint64{v}, err
+	})
+	ring := trace.NewRing(32)
+	prog, err := NewProgram(reg, MPK, profile.New(), Options{Trace: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := prog.AllocAt(prog.Site("main", 0, 0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Main().Call("clib", "touch", uint64(buf)); err == nil {
+		t.Fatal("expected crash")
+	}
+	snap := ring.Snapshot()
+	if len(snap) < 1 || snap[0].Kind != trace.GateEnter {
+		t.Errorf("crash trace = %v, want leading gate-enter", snap)
+	}
+}

@@ -1,0 +1,189 @@
+// Package domains generalizes PKRU-Safe's two-compartment policy to N
+// mutually distrusting untrusted domains, the extension §6 sketches under
+// "Number of Compartments": the paper keeps T/U for simplicity but sees
+// "no fundamental issue using a more complicated partitioning scheme that
+// uses more than two domains".
+//
+// Each domain owns a protection key and a disjoint heap pool. A domain's
+// PKRU grants access to the shared pool (key 0) and its own pool only, so
+// two untrusted libraries — say, a JS engine and a codec — cannot corrupt
+// each other's private data even though both are untrusted. The trusted
+// compartment retains full access, as in the base design.
+//
+// MPK provides 16 keys; with key 0 shared and one key for MT, up to 14
+// concurrent domains are supported, matching the hardware limit the paper
+// notes.
+package domains
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/heap"
+	"repro/internal/mpk"
+	"repro/internal/vm"
+)
+
+// Pool placement in the simulated address space.
+const (
+	trustedBase vm.Addr = 0x2000_0000_0000
+	trustedSize uint64  = 1 << 44
+	sharedBase  vm.Addr = 0x7000_0000_0000
+	sharedSize  uint64  = 1 << 38
+	domainBase  vm.Addr = 0x7800_0000_0000
+	domainSize  uint64  = 1 << 36
+	trustedKey  mpk.Key = 1
+	firstDomKey mpk.Key = 2
+)
+
+// ErrKeysExhausted is returned when all 14 domain keys are in use.
+var ErrKeysExhausted = errors.New("domains: all protection keys in use")
+
+// Domain is one untrusted compartment: a key, a private pool, and the
+// PKRU value gates install when entering it.
+type Domain struct {
+	Name string
+	Key  mpk.Key
+	PKRU mpk.PKRU // shared pool + own pool only
+
+	pool heap.Allocator
+}
+
+// Manager owns the trusted pool, the shared pool and every domain.
+// It is safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	space   *vm.Space
+	trusted heap.Allocator
+	shared  heap.Allocator
+	domains map[string]*Domain
+	nextKey mpk.Key
+}
+
+// NewManager reserves the trusted and shared pools in space.
+func NewManager(space *vm.Space) (*Manager, error) {
+	rT, err := space.Reserve("domains/MT", trustedBase, trustedSize, trustedKey)
+	if err != nil {
+		return nil, err
+	}
+	rS, err := space.Reserve("domains/shared", sharedBase, sharedSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		space:   space,
+		trusted: heap.NewArena(heap.NewPagePool(rT)),
+		shared:  heap.NewFreeList(heap.NewPagePool(rS), space),
+		domains: make(map[string]*Domain),
+		nextKey: firstDomKey,
+	}, nil
+}
+
+// Space returns the backing address space.
+func (m *Manager) Space() *vm.Space { return m.space }
+
+// TrustedKey returns the key tagging MT pages.
+func (m *Manager) TrustedKey() mpk.Key { return trustedKey }
+
+// AddDomain creates a new untrusted domain with its own key and pool.
+func (m *Manager) AddDomain(name string) (*Domain, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.domains[name]; dup {
+		return nil, fmt.Errorf("domains: %q already exists", name)
+	}
+	if !m.nextKey.Valid() {
+		return nil, ErrKeysExhausted
+	}
+	key := m.nextKey
+	idx := uint64(key - firstDomKey)
+	base := domainBase + vm.Addr(idx*2*domainSize)
+	region, err := m.space.Reserve("domains/"+name, base, domainSize, key)
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{
+		Name: name,
+		Key:  key,
+		PKRU: mpk.DenyAllExcept(0, key),
+		pool: heap.NewFreeList(heap.NewPagePool(region), m.space),
+	}
+	m.domains[name] = d
+	m.nextKey++
+	return d, nil
+}
+
+// Domain returns the named domain.
+func (m *Manager) Domain(name string) (*Domain, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.domains[name]
+	return d, ok
+}
+
+// Domains returns all domains sorted by name.
+func (m *Manager) Domains() []*Domain {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Domain, 0, len(m.domains))
+	for _, d := range m.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AllocTrusted allocates from MT.
+func (m *Manager) AllocTrusted(size uint64) (vm.Addr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.trusted.Alloc(size)
+}
+
+// AllocShared allocates from the key-0 pool every compartment can access.
+func (m *Manager) AllocShared(size uint64) (vm.Addr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shared.Alloc(size)
+}
+
+// Alloc allocates from the domain's private pool.
+func (m *Manager) Alloc(d *Domain, size uint64) (vm.Addr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return d.pool.Alloc(size)
+}
+
+// Free releases an allocation from whichever pool owns it.
+func (m *Manager) Free(addr vm.Addr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.trusted.Owns(addr) {
+		return m.trusted.Free(addr)
+	}
+	if m.shared.Owns(addr) {
+		return m.shared.Free(addr)
+	}
+	for _, d := range m.domains {
+		if d.pool.Owns(addr) {
+			return d.pool.Free(addr)
+		}
+	}
+	return fmt.Errorf("domains: %v not owned by any pool", addr)
+}
+
+// Enter switches the thread into a domain, returning a restore function
+// that reinstates the previous rights — the call-gate discipline with a
+// per-entry saved value, generalized to N target domains. A nil domain
+// enters the trusted compartment (full rights), the reverse-gate case.
+func (m *Manager) Enter(th *vm.Thread, d *Domain) (restore func()) {
+	prev := th.Rights()
+	if d == nil {
+		th.SetRights(mpk.PermitAll)
+	} else {
+		th.SetRights(d.PKRU)
+	}
+	return func() { th.SetRights(prev) }
+}

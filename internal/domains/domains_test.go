@@ -1,0 +1,191 @@
+package domains
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mpk"
+	"repro/internal/vm"
+)
+
+func newManager(t *testing.T) (*Manager, *vm.Thread) {
+	t.Helper()
+	s := vm.NewSpace()
+	m, err := NewManager(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, vm.NewThread(s, nil)
+}
+
+func TestAddDomainAssignsDistinctKeys(t *testing.T) {
+	m, _ := newManager(t)
+	a, err := m.AddDomain("js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AddDomain("codec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key == b.Key || a.Key == m.TrustedKey() || b.Key == 0 {
+		t.Errorf("key assignment: js=%v codec=%v", a.Key, b.Key)
+	}
+	if _, err := m.AddDomain("js"); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+	if got, ok := m.Domain("codec"); !ok || got != b {
+		t.Error("Domain lookup failed")
+	}
+	if len(m.Domains()) != 2 {
+		t.Errorf("Domains() = %d", len(m.Domains()))
+	}
+}
+
+func TestKeyExhaustion(t *testing.T) {
+	m, _ := newManager(t)
+	made := 0
+	for i := 0; i < 20; i++ {
+		_, err := m.AddDomain(string(rune('a' + i)))
+		if err != nil {
+			if !errors.Is(err, ErrKeysExhausted) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		made++
+	}
+	if made != 14 {
+		t.Errorf("created %d domains, want 14 (16 keys - key0 - MT key)", made)
+	}
+}
+
+// TestMutualIsolation is the point of the extension: domain A can touch
+// the shared pool and its own pool, but neither MT nor domain B's pool.
+func TestMutualIsolation(t *testing.T) {
+	m, th := newManager(t)
+	js, err := m.AddDomain("js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := m.AddDomain("codec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secretT, err := m.AllocTrusted(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedBuf, err := m.AllocShared(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsBuf, err := m.Alloc(js, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecBuf, err := m.Alloc(codec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trusted initializes everything.
+	for _, a := range []vm.Addr{secretT, sharedBuf, jsBuf, codecBuf} {
+		if err := th.Store64(a, 7); err != nil {
+			t.Fatalf("trusted init of %v: %v", a, err)
+		}
+	}
+
+	restore := m.Enter(th, js)
+	if _, err := th.Load64(sharedBuf); err != nil {
+		t.Errorf("js cannot read shared pool: %v", err)
+	}
+	if _, err := th.Load64(jsBuf); err != nil {
+		t.Errorf("js cannot read its own pool: %v", err)
+	}
+	if _, err := th.Load64(secretT); err == nil {
+		t.Error("js read MT")
+	}
+	if _, err := th.Load64(codecBuf); err == nil {
+		t.Error("js read codec's private pool")
+	}
+	if err := th.Store64(codecBuf, 9); err == nil {
+		t.Error("js wrote codec's private pool")
+	}
+	restore()
+	if th.Rights() != mpk.PermitAll {
+		t.Errorf("rights after restore = %v", th.Rights())
+	}
+}
+
+// TestNestedEntry: domain A -> trusted callback -> domain B unwinds to
+// exactly the original rights at each level.
+func TestNestedEntry(t *testing.T) {
+	m, th := newManager(t)
+	a, _ := m.AddDomain("a")
+	b, _ := m.AddDomain("b")
+
+	restoreA := m.Enter(th, a)
+	if th.Rights() != a.PKRU {
+		t.Fatalf("in A: rights = %v", th.Rights())
+	}
+	restoreT := m.Enter(th, nil) // reverse gate into T
+	if th.Rights() != mpk.PermitAll {
+		t.Fatalf("in T: rights = %v", th.Rights())
+	}
+	restoreB := m.Enter(th, b)
+	if th.Rights() != b.PKRU {
+		t.Fatalf("in B: rights = %v", th.Rights())
+	}
+	restoreB()
+	if th.Rights() != mpk.PermitAll {
+		t.Errorf("after B: rights = %v, want T", th.Rights())
+	}
+	restoreT()
+	if th.Rights() != a.PKRU {
+		t.Errorf("after T: rights = %v, want A", th.Rights())
+	}
+	restoreA()
+	if th.Rights() != mpk.PermitAll {
+		t.Errorf("after A: rights = %v, want initial", th.Rights())
+	}
+}
+
+func TestFreeDispatch(t *testing.T) {
+	m, _ := newManager(t)
+	js, _ := m.AddDomain("js")
+	addrs := []vm.Addr{}
+	for _, alloc := range []func() (vm.Addr, error){
+		func() (vm.Addr, error) { return m.AllocTrusted(32) },
+		func() (vm.Addr, error) { return m.AllocShared(32) },
+		func() (vm.Addr, error) { return m.Alloc(js, 32) },
+	} {
+		a, err := alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		if err := m.Free(a); err != nil {
+			t.Errorf("Free(%v): %v", a, err)
+		}
+	}
+	if err := m.Free(0x42); err == nil {
+		t.Error("free of unowned address accepted")
+	}
+}
+
+func TestDomainPagesCarryDomainKey(t *testing.T) {
+	m, th := newManager(t)
+	js, _ := m.AddDomain("js")
+	buf, err := m.Alloc(js, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store64(buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := m.Space().PKeyAt(buf); !ok || k != js.Key {
+		t.Errorf("domain page key = %v, want %v", k, js.Key)
+	}
+}

@@ -1,0 +1,135 @@
+package ffi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/mpk"
+	"repro/internal/pkalloc"
+	"repro/internal/vm"
+)
+
+func TestAbortKillsAllCalls(t *testing.T) {
+	rt, reg := world(t, GatesOn)
+	reg.MustLibrary("lib", Untrusted).Define("f", func(*Thread, []uint64) ([]uint64, error) {
+		return nil, nil
+	})
+	th := rt.NewThread()
+	if _, err := th.Call("lib", "f"); err != nil {
+		t.Fatal(err)
+	}
+	rt.Abort()
+	if !rt.Aborted() {
+		t.Fatal("Aborted() false after Abort")
+	}
+	if _, err := th.Call("lib", "f"); !errors.Is(err, ErrAborted) {
+		t.Errorf("call after abort = %v, want ErrAborted", err)
+	}
+	if _, err := th.CallNoGate("lib", "f"); !errors.Is(err, ErrAborted) {
+		t.Errorf("CallNoGate after abort = %v, want ErrAborted", err)
+	}
+}
+
+// TestPerThreadPKRUIsolation: PKRU is per-thread state. One thread parked
+// inside the untrusted compartment must not affect another thread's full
+// trusted rights — the property that makes PKRU-Safe sound for the
+// multi-threaded Servo (§8 "multi-threaded mixed-language environments").
+func TestPerThreadPKRUIsolation(t *testing.T) {
+	rt, reg := world(t, GatesOn)
+	secret, err := rt.Alloc.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	reg.MustLibrary("lib", Untrusted).Define("park", func(th *Thread, _ []uint64) ([]uint64, error) {
+		close(entered)
+		<-release
+		// Still in U: MT must stay inaccessible.
+		if _, err := th.Load64(secret); err == nil {
+			t.Error("parked untrusted thread read MT")
+		}
+		return nil, nil
+	})
+
+	thA := rt.NewThread()
+	done := make(chan error, 1)
+	go func() {
+		_, err := thA.Call("lib", "park")
+		done <- err
+	}()
+	<-entered
+	// Thread B, in T, accesses MT freely while A sits in U.
+	thB := rt.NewThread()
+	if err := thB.VM.Store64(secret, 99); err != nil {
+		t.Errorf("trusted thread blocked by another thread's gate: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if thA.VM.Rights() != mpk.PermitAll {
+		t.Error("thread A rights not restored")
+	}
+}
+
+func TestConcurrentGatedCalls(t *testing.T) {
+	rt, reg := world(t, GatesOn)
+	reg.MustLibrary("lib", Untrusted).Define("alloc_and_touch", func(th *Thread, _ []uint64) ([]uint64, error) {
+		a, err := th.Malloc(64)
+		if err != nil {
+			return nil, err
+		}
+		if err := th.Store64(a, 1); err != nil {
+			return nil, err
+		}
+		return nil, th.Free(a)
+	})
+	const goroutines, calls = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.NewThread()
+			for i := 0; i < calls; i++ {
+				if _, err := th.Call("lib", "alloc_and_touch"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := rt.Transitions(); got != goroutines*calls {
+		t.Errorf("transitions = %d, want %d", got, goroutines*calls)
+	}
+}
+
+// TestOOMPropagates: exhausting a tiny trusted pool surfaces as an error,
+// not a panic, through the FFI allocation path.
+func TestOOMPropagates(t *testing.T) {
+	space := vm.NewSpace()
+	alloc, err := pkalloc.New(pkalloc.Config{
+		Space:       space,
+		TrustedSize: 4 * vm.PageSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(NewRegistry(), alloc, nil, GatesOn)
+	th := rt.NewThread()
+	if _, err := th.Malloc(64 * vm.PageSize); err == nil {
+		t.Error("oversized trusted allocation succeeded")
+	}
+	// The allocator remains usable after the failure.
+	if _, err := th.Malloc(64); err != nil {
+		t.Errorf("small allocation after OOM failed: %v", err)
+	}
+}

@@ -1,0 +1,301 @@
+package ffi
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mpk"
+	"repro/internal/pkalloc"
+	"repro/internal/sig"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// GateMode selects how much of PKRU-Safe's instrumentation is active,
+// matching the paper's three Servo configurations (§5.3).
+type GateMode uint8
+
+const (
+	// GatesOff: no call gates; every compartment runs with full rights.
+	// Combined with a single-pool allocator this is the "base" config,
+	// with the split allocator it is the "alloc" config.
+	GatesOff GateMode = iota
+	// GatesOn: full call-gate instrumentation (the "mpk" config).
+	GatesOn
+)
+
+// ErrGateTampered is returned (and the program aborted) when a call gate's
+// PKRU verification fails, the simulated analogue of the gate's hardened
+// check-and-exit sequence.
+var ErrGateTampered = errors.New("ffi: call gate PKRU verification failed")
+
+// ErrAborted is returned for any call after the runtime has aborted.
+var ErrAborted = errors.New("ffi: program aborted")
+
+// DefaultGateCost is the default WRPKRU cost in spin iterations (see
+// SetGateCost). The value is calibrated so that the Empty micro-benchmark
+// lands near the paper's measured call-gate factor: WRPKRU serializes the
+// pipeline, costing far more than the call it wraps, and the simulator
+// must reproduce that *ratio* even though its baseline call is ~25x more
+// expensive than a native one.
+const DefaultGateCost = 100
+
+// Runtime binds a registry of libraries to an address space, allocator and
+// signal table, and mints threads that can call across the boundary.
+type Runtime struct {
+	Registry *Registry
+	Alloc    *pkalloc.Allocator
+	Sigs     *sig.Table
+
+	mode          GateMode
+	untrustedPKRU mpk.PKRU
+	gateCost      int
+	ring          *trace.Ring
+	transitions   atomic.Uint64
+	aborted       atomic.Bool
+}
+
+// NewRuntime creates a runtime. The untrusted PKRU value denies all access
+// to the allocator's trusted key while keeping the default key 0 (MU and
+// everything else) accessible.
+func NewRuntime(reg *Registry, alloc *pkalloc.Allocator, sigs *sig.Table, mode GateMode) *Runtime {
+	if sigs == nil {
+		sigs = new(sig.Table)
+	}
+	return &Runtime{
+		Registry:      reg,
+		Alloc:         alloc,
+		Sigs:          sigs,
+		mode:          mode,
+		untrustedPKRU: mpk.PermitAll.With(alloc.TrustedKey(), mpk.DenyAll),
+		gateCost:      DefaultGateCost,
+	}
+}
+
+// SetGateCost sets the simulated cost of one WRPKRU in spin iterations
+// (each roughly a nanosecond). Each gate traversal executes two WRPKRUs —
+// enter and restore — as the paper's assembly stubs do. Zero makes gates
+// free, which is useful for ablation benchmarks.
+func (rt *Runtime) SetGateCost(n int) {
+	if n < 0 {
+		n = 0
+	}
+	rt.gateCost = n
+}
+
+// GateCost returns the per-WRPKRU spin count.
+func (rt *Runtime) GateCost() int { return rt.gateCost }
+
+// SetTrace attaches an event ring recording gate traversals (nil detaches).
+func (rt *Runtime) SetTrace(r *trace.Ring) { rt.ring = r }
+
+// Trace returns the attached event ring, if any.
+func (rt *Runtime) Trace() *trace.Ring { return rt.ring }
+
+// gateSink defeats dead-code elimination of the WRPKRU spin.
+var gateSink atomic.Uint64
+
+// wrpkruDelay models the pipeline-serializing cost of a WRPKRU write.
+func wrpkruDelay(n int) {
+	acc := uint64(1)
+	for i := 0; i < n; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	gateSink.Store(acc)
+}
+
+// Mode returns the runtime's gate mode.
+func (rt *Runtime) Mode() GateMode { return rt.mode }
+
+// UntrustedPKRU returns the rights value gates install when entering U.
+func (rt *Runtime) UntrustedPKRU() mpk.PKRU { return rt.untrustedPKRU }
+
+// Transitions returns the number of compartment boundary crossings
+// performed through gates (each forward or reverse gate entry counts one).
+func (rt *Runtime) Transitions() uint64 { return rt.transitions.Load() }
+
+// Aborted reports whether a gate detected tampering and killed the program.
+func (rt *Runtime) Aborted() bool { return rt.aborted.Load() }
+
+// Abort kills the program: every subsequent cross-library call fails with
+// ErrAborted. Gate verification calls this on PKRU mismatch; it is also
+// the hook a watchdog would use.
+func (rt *Runtime) Abort() { rt.aborted.Store(true) }
+
+// NewThread mints an execution context starting in the trusted compartment
+// with full rights.
+func (rt *Runtime) NewThread() *Thread {
+	return &Thread{rt: rt, VM: vm.NewThread(rt.Alloc.Space(), rt.Sigs)}
+}
+
+// Thread is one execution context: a simulated CPU, the per-thread
+// compartment stack the gates push saved PKRU values onto, and a logical
+// trust stack recording whose *code* is currently running. The two differ
+// in the gates-off builds: untrusted library code still runs (and still
+// allocates from its own heap, MU) even though no rights are dropped —
+// exactly as SpiderMonkey keeps using its own malloc in the paper's base
+// configuration.
+type Thread struct {
+	rt    *Runtime
+	VM    *vm.Thread
+	stack []mpk.PKRU // saved rights, pushed by gates
+	trust []Trust    // logical compartment of the running code
+}
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// CurrentTrust reports whose code is logically executing (independent of
+// gate mode). A fresh thread starts in trusted code.
+func (t *Thread) CurrentTrust() Trust {
+	if len(t.trust) == 0 {
+		return Trusted
+	}
+	return t.trust[len(t.trust)-1]
+}
+
+// InUntrusted reports whether untrusted-library code is currently running.
+func (t *Thread) InUntrusted() bool { return t.CurrentTrust() == Untrusted }
+
+// Depth returns the current compartment-stack depth: the number of gate
+// traversals live on this thread (always zero with gates off).
+func (t *Thread) Depth() int { return len(t.stack) }
+
+// Call invokes lib.fn with the gate discipline the annotations imply:
+//
+//   - calling an untrusted library enters U through a forward gate;
+//   - calling a trusted library while in U enters T through a reverse gate
+//     (the instrumentation added to address-taken/exported T functions);
+//   - all other calls are plain calls.
+//
+// In GatesOff mode every call is plain (no rights change), matching the
+// base/alloc builds, but the logical trust of the callee is still tracked.
+func (t *Thread) Call(lib, fn string, args ...uint64) ([]uint64, error) {
+	if t.rt.aborted.Load() {
+		return nil, ErrAborted
+	}
+	l, f, err := t.rt.Registry.Lookup(lib, fn)
+	if err != nil {
+		return nil, err
+	}
+	if t.rt.mode == GatesOn && l.Trust != t.CurrentTrust() {
+		target := mpk.PermitAll
+		if l.Trust == Untrusted {
+			target = t.rt.untrustedPKRU
+		}
+		return t.throughGate(l.Trust, target, f, args)
+	}
+	return t.plainCall(l.Trust, f, args)
+}
+
+// CallNoGate invokes lib.fn without any gate, regardless of annotations.
+// It models untrusted code jumping directly to a trusted function that was
+// not instrumented: the callee runs with the caller's (untrusted) rights
+// and crashes the moment it touches MT (§3.3). Exposed for the security
+// evaluation and the interpreter's uninstrumented-callee path.
+func (t *Thread) CallNoGate(lib, fn string, args ...uint64) ([]uint64, error) {
+	if t.rt.aborted.Load() {
+		return nil, ErrAborted
+	}
+	l, f, err := t.rt.Registry.Lookup(lib, fn)
+	if err != nil {
+		return nil, err
+	}
+	return t.plainCall(l.Trust, f, args)
+}
+
+// plainCall runs f with the callee's logical trust pushed but no rights
+// change.
+func (t *Thread) plainCall(trust Trust, f Func, args []uint64) ([]uint64, error) {
+	t.trust = append(t.trust, trust)
+	res, err := f(t, args)
+	t.trust = t.trust[:len(t.trust)-1]
+	return res, err
+}
+
+// throughGate performs one gated call: push current rights, install and
+// verify the target rights, run, restore.
+func (t *Thread) throughGate(trust Trust, target mpk.PKRU, f Func, args []uint64) ([]uint64, error) {
+	prev := t.VM.Rights()
+	t.stack = append(t.stack, prev)
+	t.trust = append(t.trust, trust)
+	t.VM.SetRights(target)
+	wrpkruDelay(t.rt.gateCost)
+	if t.rt.ring != nil {
+		t.rt.ring.Emit(trace.Event{Kind: trace.GateEnter, A: uint64(uint32(target))})
+	}
+	// The gate's self-check: the PKRU we installed must be the one the gate
+	// was compiled to enforce. On real hardware this defeats whole-function
+	// reuse of gates under CFI; here it guards against runtime tampering.
+	if t.VM.Rights() != target {
+		t.rt.aborted.Store(true)
+		return nil, ErrGateTampered
+	}
+	t.rt.transitions.Add(1)
+	res, err := f(t, args)
+	t.trust = t.trust[:len(t.trust)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	t.VM.SetRights(prev)
+	wrpkruDelay(t.rt.gateCost)
+	if t.rt.ring != nil {
+		t.rt.ring.Emit(trace.Event{Kind: trace.GateExit, A: uint64(uint32(prev))})
+	}
+	return res, err
+}
+
+// Malloc allocates from the pool appropriate to the running code's
+// compartment: untrusted code gets MU (libc malloc), trusted code MT.
+func (t *Thread) Malloc(size uint64) (vm.Addr, error) {
+	if t.InUntrusted() {
+		return t.rt.Alloc.UntrustedAlloc(size)
+	}
+	return t.rt.Alloc.Alloc(size)
+}
+
+// Free releases an allocation from whichever pool owns it.
+func (t *Thread) Free(addr vm.Addr) error { return t.rt.Alloc.Free(addr) }
+
+// fault wraps a vm fault with call context.
+func callErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("ffi: %s: %w", op, err)
+}
+
+// Load64 reads a word through the thread's checked view of memory.
+func (t *Thread) Load64(addr vm.Addr) (uint64, error) {
+	v, err := t.VM.Load64(addr)
+	return v, callErr("load64", err)
+}
+
+// Store64 writes a word through the thread's checked view of memory.
+func (t *Thread) Store64(addr vm.Addr, v uint64) error {
+	return callErr("store64", t.VM.Store64(addr, v))
+}
+
+// Load8 reads a byte through the thread's checked view of memory.
+func (t *Thread) Load8(addr vm.Addr) (byte, error) {
+	v, err := t.VM.Load8(addr)
+	return v, callErr("load8", err)
+}
+
+// Store8 writes a byte through the thread's checked view of memory.
+func (t *Thread) Store8(addr vm.Addr, v byte) error {
+	return callErr("store8", t.VM.Store8(addr, v))
+}
+
+// ReadBytes reads n bytes at addr through the checked view.
+func (t *Thread) ReadBytes(addr vm.Addr, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := t.VM.Read(addr, buf); err != nil {
+		return nil, callErr("read", err)
+	}
+	return buf, nil
+}
+
+// WriteBytes writes buf at addr through the checked view.
+func (t *Thread) WriteBytes(addr vm.Addr, buf []byte) error {
+	return callErr("write", t.VM.Write(addr, buf))
+}

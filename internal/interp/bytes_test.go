@@ -1,0 +1,74 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestByteOps covers the 8-bit load/store path: a memcpy-style loop that
+// reverses a byte buffer in place.
+func TestByteOps(t *testing.T) {
+	src := `
+module bytes
+export func main() {
+entry:
+  buf = alloc 16
+  i = const 0
+  jmp fill
+fill:
+  p = add buf, i
+  v = add 65, i
+  storeb p, v
+  i = add i, 1
+  done = eq i, 8
+  br done, rev, fill
+rev:
+  lo = const 0
+  hi = const 7
+  jmp swap
+swap:
+  more = lt lo, hi
+  br more, doswap, check
+doswap:
+  pl = add buf, lo
+  ph = add buf, hi
+  a = loadb pl
+  b = loadb ph
+  storeb pl, b
+  storeb ph, a
+  lo = add lo, 1
+  hi = sub hi, 1
+  jmp swap
+check:
+  p0 = loadb buf
+  p7b = add buf, 7
+  p7 = loadb p7b
+  r = mul p0, 1000
+  r = add r, p7
+  free buf
+  ret r
+}
+`
+	res, _, err := run(t, src, "main", core.Base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 'A'+7 = 72 at index 0, 'A' = 65 at index 7 -> 72065.
+	if res[0] != 72065 {
+		t.Errorf("result = %d, want 72065", res[0])
+	}
+}
+
+// TestRuntimeErrorLocation: errors carry function and line info.
+func TestRuntimeErrorLocation(t *testing.T) {
+	src := "module m\nexport func main() {\ne:\n  nop\n  x = div 1, 0\n  ret\n}"
+	_, _, err := run(t, src, "main", core.Base, nil)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "main") || !strings.Contains(err.Error(), "line 5") {
+		t.Errorf("error lacks location: %v", err)
+	}
+}

@@ -1,0 +1,456 @@
+package interp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/ffi"
+	"repro/internal/pkir"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// run parses, compiles and executes src's entry function under cfg,
+// returning results, printed output and error.
+func run(t *testing.T, src, entry string, cfg core.BuildConfig, prof *profile.Profile, args ...uint64) ([]uint64, string, error) {
+	t.Helper()
+	mod, err := pkir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := compile.Pipeline(mod, prof); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var consumed *profile.Profile
+	if cfg == core.Alloc || cfg == core.MPK {
+		consumed = prof
+		if consumed == nil {
+			consumed = profile.New()
+		}
+	}
+	prog, err := core.NewProgram(ffi.NewRegistry(), cfg, consumed)
+	if err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	var out bytes.Buffer
+	m, err := New(mod, prog, Options{Output: &out})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	res, err := m.Run(entry, args...)
+	return res, out.String(), err
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+module fib
+export func fib(n) {
+entry:
+  small = lt n, 2
+  br small, base, rec
+base:
+  ret n
+rec:
+  n1 = sub n, 1
+  n2 = sub n, 2
+  a = call fib(n1)
+  b = call fib(n2)
+  s = add a, b
+  ret s
+}
+`
+	res, _, err := run(t, src, "fib", core.Base, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 55 {
+		t.Errorf("fib(10) = %d, want 55", res[0])
+	}
+}
+
+func TestLoopAndMemory(t *testing.T) {
+	src := `
+module sum
+export func main() {
+entry:
+  buf = alloc 80
+  i = const 0
+  jmp fill
+fill:
+  off = mul i, 8
+  p = add buf, off
+  store p, i
+  i = add i, 1
+  done = eq i, 10
+  br done, sum_init, fill
+sum_init:
+  acc = const 0
+  j = const 0
+  jmp sum
+sum:
+  off2 = mul j, 8
+  q = add buf, off2
+  v = load q
+  acc = add acc, v
+  j = add j, 1
+  fin = eq j, 10
+  br fin, out, sum
+out:
+  free buf
+  print acc
+  ret acc
+}
+`
+	res, out, err := run(t, src, "main", core.Base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 45 {
+		t.Errorf("sum = %d, want 45", res[0])
+	}
+	if strings.TrimSpace(out) != "45" {
+		t.Errorf("printed %q", out)
+	}
+}
+
+const pipelineSrc = `
+module quickstart
+
+untrusted export func clib_write(ptr) {
+entry:
+  store ptr, 1337
+  ret
+}
+
+export func main() {
+entry:
+  p = alloc 8
+  store p, 0
+  call clib_write(p)
+  v = load p
+  ret v
+}
+`
+
+// TestIRPipelineE1 reproduces experiment E1 at the IR level: enforce with
+// empty profile (crash), profile (complete + record), enforce with the
+// real profile (1337).
+func TestIRPipelineE1(t *testing.T) {
+	// Step 1: empty profile, MPK gates — crash on the untrusted store.
+	_, _, err := run(t, pipelineSrc, "main", core.MPK, profile.New())
+	var fault *vm.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("step 1: want MPK fault, got %v", err)
+	}
+
+	// Step 2: profiling build — completes and records the site.
+	mod, err := pkir.Parse(pipelineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Pipeline(mod, nil); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.NewProgram(ffi.NewRegistry(), core.Profiling, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(mod, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatalf("step 2: %v", err)
+	}
+	if res[0] != 1337 {
+		t.Fatalf("step 2 result = %d", res[0])
+	}
+	prof, err := prog.RecordedProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSite := profile.AllocID{Func: "main", Block: 0, Site: 0}
+	if !prof.Contains(wantSite) {
+		t.Fatalf("profile %v missing %v", prof.IDs(), wantSite)
+	}
+
+	// Step 3: enforcement with the recorded profile — succeeds with 1337.
+	res3, _, err := run(t, pipelineSrc, "main", core.MPK, prof)
+	if err != nil {
+		t.Fatalf("step 3: %v", err)
+	}
+	if res3[0] != 1337 {
+		t.Errorf("step 3 result = %d", res3[0])
+	}
+}
+
+func TestIndirectCallAndCFI(t *testing.T) {
+	src := `
+module icalls
+export func double(x) {
+entry:
+  y = mul x, 2
+  ret y
+}
+export func main(bad) {
+entry:
+  fp = funcaddr double
+  use_bad = ne bad, 0
+  br use_bad, evil, good
+good:
+  r = icall fp(21)
+  ret r
+evil:
+  r2 = icall 99(21)
+  ret r2
+}
+`
+	res, _, err := run(t, src, "main", core.Base, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 42 {
+		t.Errorf("icall result = %d", res[0])
+	}
+	_, _, err = run(t, src, "main", core.Base, nil, 1)
+	if !errors.Is(err, ErrCFIViolation) {
+		t.Errorf("bogus icall = %v, want CFI violation", err)
+	}
+}
+
+// TestCallbackThroughReverseGate: untrusted IR code invokes an
+// address-taken trusted function pointer; the callback reads MT
+// successfully (reverse gate), and the untrusted caller still cannot.
+func TestCallbackThroughReverseGate(t *testing.T) {
+	src := `
+module cb
+
+export func read_secret(p) {
+entry:
+  v = load p
+  ret v
+}
+
+untrusted export func u_invoke(fp, p) {
+entry:
+  r = icall fp(p)
+  ret r
+}
+
+export func main() {
+entry:
+  secret = alloc 8
+  store secret, 777
+  fp = funcaddr read_secret
+  r = call u_invoke(fp, secret)
+  ret r
+}
+`
+	res, _, err := run(t, src, "main", core.MPK, profile.New())
+	if err != nil {
+		t.Fatalf("callback run: %v", err)
+	}
+	if res[0] != 777 {
+		t.Errorf("callback result = %d", res[0])
+	}
+
+	// Variant: untrusted code dereferences the pointer itself -> fault.
+	srcDirect := strings.Replace(src, "r = icall fp(p)\n  ret r", "v = load p\n  ret v", 1)
+	_, _, err = run(t, srcDirect, "main", core.MPK, profile.New())
+	var fault *vm.Fault
+	if !errors.As(err, &fault) {
+		t.Errorf("direct untrusted deref = %v, want fault", err)
+	}
+}
+
+// TestUninstrumentedTrustedCalleeCrashes: an untrusted function calls a
+// non-exported, non-address-taken trusted function directly; without an
+// entry gate it runs with U rights and dies touching MT.
+func TestUninstrumentedTrustedCalleeCrashes(t *testing.T) {
+	src := `
+module nogate
+
+func t_touch(p) {
+entry:
+  v = load p
+  ret v
+}
+
+untrusted export func u_jump(p) {
+entry:
+  r = call t_touch(p)
+  ret r
+}
+
+export func main() {
+entry:
+  secret = alloc 8
+  store secret, 1
+  r = call u_jump(secret)
+  ret r
+}
+`
+	_, _, err := run(t, src, "main", core.MPK, profile.New())
+	var fault *vm.Fault
+	if !errors.As(err, &fault) {
+		t.Errorf("uninstrumented T callee should crash, got %v", err)
+	}
+	// Same program under profiling completes (handler repairs faults) and
+	// does NOT hide the touched allocation.
+	mod, _ := pkir.Parse(src)
+	if _, err := compile.Pipeline(mod, nil); err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := core.NewProgram(ffi.NewRegistry(), core.Profiling, nil)
+	m, _ := New(mod, prog)
+	if _, err := m.Run("main"); err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	prof, _ := prog.RecordedProfile()
+	if prof.Len() != 1 {
+		t.Errorf("profile len = %d, want the secret's site", prof.Len())
+	}
+}
+
+func TestUallocAndReallocOps(t *testing.T) {
+	src := `
+module mem
+untrusted export func u_write(p) {
+entry:
+  store p, 5
+  ret
+}
+export func main() {
+entry:
+  u = ualloc 16
+  call u_write(u)
+  g = realloc u, 4096
+  v = load g
+  free g
+  ret v
+}
+`
+	res, _, err := run(t, src, "main", core.MPK, profile.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 5 {
+		t.Errorf("value after realloc = %d", res[0])
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		wantSub   string
+	}{
+		{
+			"div by zero",
+			"module m\nexport func main() {\ne:\n  x = div 1, 0\n  ret\n}",
+			"division by zero",
+		},
+		{
+			"undefined register",
+			"module m\nexport func main() {\ne:\n  x = add ghost, 1\n  ret\n}",
+			"undefined register",
+		},
+		{
+			"null icall",
+			"module m\nexport func main() {\ne:\n  r = icall 0()\n  ret\n}",
+			"CFI",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := run(t, c.src, "main", core.Base, nil)
+			if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("err = %v, want containing %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	src := "module m\nexport func main() {\ne:\n  jmp e\n}"
+	mod, _ := pkir.Parse(src)
+	if _, err := compile.Pipeline(mod, nil); err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := core.NewProgram(ffi.NewRegistry(), core.Base, nil)
+	m, err := New(mod, prog, Options{StepLimit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("main"); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("infinite loop = %v, want step limit", err)
+	}
+}
+
+func TestRunUnknownEntry(t *testing.T) {
+	src := "module m\nexport func main() {\ne:\n  ret\n}"
+	_, _, err := run(t, src, "ghost", core.Base, nil)
+	if err == nil {
+		t.Error("unknown entry accepted")
+	}
+}
+
+func TestArgArityChecked(t *testing.T) {
+	src := "module m\nexport func main(a, b) {\ne:\n  ret a\n}"
+	_, _, err := run(t, src, "main", core.Base, nil, 1)
+	if err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestMixedIRAndNativeLibraries(t *testing.T) {
+	// An IR program calling a Go-hosted native untrusted function through
+	// the same registry.
+	mod, err := pkir.Parse(`
+module mixed
+export func main() {
+entry:
+  p = alloc 8
+  store p, 41
+  ret p
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Pipeline(mod, nil); err != nil {
+		t.Fatal(err)
+	}
+	reg := ffi.NewRegistry()
+	reg.MustLibrary("native", ffi.Untrusted).Define("bump", func(th *ffi.Thread, args []uint64) ([]uint64, error) {
+		v, err := th.Load64(vm.Addr(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{v + 1}, th.Store64(vm.Addr(args[0]), v+1)
+	})
+	prog, err := core.NewProgram(reg, core.MPK, profile.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(mod, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The IR allocation is trusted; the native untrusted call must fault.
+	if _, err := prog.Main().Call("native", "bump", res[0]); err == nil {
+		t.Error("native untrusted access to IR trusted allocation should fault")
+	}
+	st := m.Stats()
+	if st.Instructions == 0 || st.Calls == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,225 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/ffi"
+	"repro/internal/pkir"
+	"repro/internal/profile"
+	"repro/internal/static"
+	"repro/internal/vm"
+)
+
+// The §6 stack-protection prototype: stack slots are classified by the
+// same profiling pipeline as heap data and freed at frame exit.
+
+const stackSrc = `
+module stackprot
+
+untrusted export func u_fill(p) {
+entry:
+  store p, 4242
+  ret
+}
+
+export func main() {
+entry:
+  shared = salloc 8
+  private = salloc 8
+  store private, 1
+  call u_fill(shared)
+  v = load shared
+  w = load private
+  s = add v, w
+  ret s
+}
+`
+
+func buildStack(t *testing.T, cfg core.BuildConfig, prof *profile.Profile) (*core.Program, *Machine) {
+	t.Helper()
+	mod, err := pkir.Parse(stackSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied *profile.Profile
+	if cfg == core.MPK || cfg == core.Alloc {
+		applied = prof
+	}
+	if _, err := compile.Pipeline(mod, applied); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.NewProgram(ffi.NewRegistry(), cfg, applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(mod, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, m
+}
+
+func TestStackSlotPipeline(t *testing.T) {
+	// Empty profile: the untrusted write to the trusted stack slot faults.
+	_, m1 := buildStack(t, core.MPK, profile.New())
+	_, err := m1.Run("main")
+	var fault *vm.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("unshared stack slot should fault: %v", err)
+	}
+
+	// Profiling run records the slot's site.
+	prog2, m2 := buildStack(t, core.Profiling, nil)
+	res, err := m2.Run("main")
+	if err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	if res[0] != 4243 {
+		t.Errorf("result = %d", res[0])
+	}
+	prof, _ := prog2.RecordedProfile()
+	sharedID := profile.AllocID{Func: "main", Block: 0, Site: 0}
+	privateID := profile.AllocID{Func: "main", Block: 0, Site: 1}
+	if !prof.Contains(sharedID) {
+		t.Fatalf("profile missing shared stack slot: %v", prof.IDs())
+	}
+	if prof.Contains(privateID) {
+		t.Error("private stack slot wrongly profiled")
+	}
+
+	// Enforced with the profile: runs clean; the private slot stays in MT.
+	prog3, m3 := buildStack(t, core.MPK, prof)
+	res, err = m3.Run("main")
+	if err != nil {
+		t.Fatalf("enforced run: %v", err)
+	}
+	if res[0] != 4243 {
+		t.Errorf("enforced result = %d", res[0])
+	}
+	// Frame teardown freed both slots.
+	st := prog3.Allocator().Stats()
+	if st.Trusted.BytesLive != 0 || st.Untrusted.BytesLive != 0 {
+		t.Errorf("stack slots leaked: %+v", st)
+	}
+}
+
+func TestStackSlotsFreedAcrossCalls(t *testing.T) {
+	src := `
+module rec
+export func leaf() {
+entry:
+  tmp = salloc 64
+  store tmp, 1
+  v = load tmp
+  ret v
+}
+export func main() {
+entry:
+  i = const 0
+  acc = const 0
+  jmp loop
+loop:
+  v = call leaf()
+  acc = add acc, v
+  i = add i, 1
+  done = eq i, 50
+  br done, out, loop
+out:
+  ret acc
+}
+`
+	mod, err := pkir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Pipeline(mod, nil); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.NewProgram(ffi.NewRegistry(), core.Base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(mod, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 50 {
+		t.Errorf("result = %d", res[0])
+	}
+	if live := prog.Allocator().Stats().Trusted.BytesLive; live != 0 {
+		t.Errorf("stack slots leaked across 50 activations: %d bytes live", live)
+	}
+}
+
+func TestStaticAnalysisCoversStackSlots(t *testing.T) {
+	mod, err := pkir.Parse(stackSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Pipeline(mod, nil); err != nil {
+		t.Fatal(err)
+	}
+	prof, st, err := static.Analyze(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalSites != 2 {
+		t.Errorf("total sites = %d, want 2 stack slots", st.TotalSites)
+	}
+	if !prof.Contains(profile.AllocID{Func: "main", Block: 0, Site: 0}) {
+		t.Errorf("static analysis missed the shared stack slot: %v", prof.IDs())
+	}
+	if prof.Contains(profile.AllocID{Func: "main", Block: 0, Site: 1}) {
+		t.Error("static analysis over-shared the private stack slot")
+	}
+}
+
+func TestUSAllocExplicit(t *testing.T) {
+	src := `
+module us
+untrusted export func u_read(p) {
+entry:
+  v = load p
+  ret v
+}
+export func main() {
+entry:
+  b = usalloc 8
+  store b, 9
+  v = call u_read(b)
+  ret v
+}
+`
+	mod, err := pkir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Pipeline(mod, profile.New()); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.NewProgram(ffi.NewRegistry(), core.MPK, profile.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(mod, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatalf("explicit usalloc run: %v", err)
+	}
+	if res[0] != 9 {
+		t.Errorf("result = %d", res[0])
+	}
+	if live := prog.Allocator().Stats().Untrusted.BytesLive; live != 0 {
+		t.Errorf("usalloc slot leaked: %d", live)
+	}
+}

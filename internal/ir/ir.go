@@ -1,0 +1,302 @@
+// Package ir defines the intermediate representation PKRU-Safe's compiler
+// passes operate on: a word-oriented, LLVM-flavoured IR whose interesting
+// instructions — allocation calls, frees, loads/stores, direct and indirect
+// calls — are exactly the ones the paper's instrumentation touches.
+//
+// Functions carry the library-level trust annotation (§3.2), allocation
+// instructions carry the (function, block, site) AllocIds the profiler
+// records (§4.3.1), and the compile package's passes rewrite Alloc ops to
+// UAlloc for profiled sites, reproducing the enforcement build's
+// "change the call to the allocator" step.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+)
+
+// Op enumerates the instruction set.
+type Op uint8
+
+const (
+	OpInvalid  Op = iota
+	OpConst       // dst = const imm
+	OpBin         // dst = <binop> a, b
+	OpAlloc       // dst = alloc size        (trusted pool; an allocation site)
+	OpUAlloc      // dst = ualloc size       (untrusted pool; rewritten or explicit)
+	OpRealloc     // dst = realloc ptr, size
+	OpFree        // free ptr
+	OpLoad        // dst = load ptr          (64-bit)
+	OpStore       // store ptr, val
+	OpLoadB       // dst = loadb ptr         (8-bit)
+	OpStoreB      // storeb ptr, val
+	OpCall        // [dst...] = call f(args)
+	OpICall       // [dst...] = icall fp(args)
+	OpFuncAddr    // dst = funcaddr f
+	OpBr          // br cond, then, else
+	OpJmp         // jmp target
+	OpRet         // ret [vals...]
+	OpPrint       // print val
+	OpNop         // no operation
+	OpSAlloc      // dst = salloc size   (stack slot in T, freed at return; §6 prototype)
+	OpUSAlloc     // dst = usalloc size  (stack slot in MU; rewritten or explicit)
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpBin: "bin", OpAlloc: "alloc", OpUAlloc: "ualloc",
+	OpRealloc: "realloc", OpFree: "free", OpLoad: "load", OpStore: "store",
+	OpLoadB: "loadb", OpStoreB: "storeb", OpCall: "call", OpICall: "icall",
+	OpFuncAddr: "funcaddr", OpBr: "br", OpJmp: "jmp", OpRet: "ret",
+	OpPrint: "print", OpNop: "nop", OpSAlloc: "salloc", OpUSAlloc: "usalloc",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// BinKind enumerates binary operators.
+type BinKind uint8
+
+const (
+	BinAdd BinKind = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+)
+
+var binNames = [...]string{
+	BinAdd: "add", BinSub: "sub", BinMul: "mul", BinDiv: "div", BinMod: "mod",
+	BinAnd: "and", BinOr: "or", BinXor: "xor", BinShl: "shl", BinShr: "shr",
+	BinEq: "eq", BinNe: "ne", BinLt: "lt", BinLe: "le", BinGt: "gt", BinGe: "ge",
+}
+
+func (b BinKind) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin(%d)", uint8(b))
+}
+
+// BinKindByName maps mnemonics to BinKind.
+var BinKindByName = func() map[string]BinKind {
+	m := make(map[string]BinKind, len(binNames))
+	for k, n := range binNames {
+		m[n] = BinKind(k)
+	}
+	return m
+}()
+
+// Operand is either an immediate or a virtual-register reference.
+type Operand struct {
+	IsImm bool
+	Imm   uint64
+	Reg   string
+}
+
+// Imm constructs an immediate operand.
+func Imm(v uint64) Operand { return Operand{IsImm: true, Imm: v} }
+
+// Reg constructs a register operand.
+func Reg(name string) Operand { return Operand{Reg: name} }
+
+func (o Operand) String() string {
+	if o.IsImm {
+		return fmt.Sprintf("%d", o.Imm)
+	}
+	return o.Reg
+}
+
+// Instr is one IR instruction. Fields are used according to Op.
+type Instr struct {
+	Op   Op
+	Bin  BinKind   // OpBin
+	Dst  []string  // destination registers (call/icall may have several)
+	Args []Operand // value operands
+	// Callee names the target of OpCall / OpFuncAddr.
+	Callee string
+	// Then/Else are branch targets (OpBr uses both; OpJmp uses Then).
+	Then, Else string
+	// Site is the allocation identifier assigned by compile.AssignAllocIDs
+	// to OpAlloc/OpUAlloc/OpRealloc instructions.
+	Site profile.AllocID
+	// Gate is set by compile.InsertGates on boundary-crossing calls.
+	Gate GateKind
+	// Line is the 1-based source line for diagnostics (0 if synthetic).
+	Line int
+}
+
+// GateKind marks the call-gate instrumentation on a call instruction.
+type GateKind uint8
+
+const (
+	// GateNone: plain call, no compartment transition.
+	GateNone GateKind = iota
+	// GateEnterUntrusted: forward gate, T calling into U (§3.3).
+	GateEnterUntrusted
+	// GateEnterTrusted: reverse gate, U calling an exported T function.
+	GateEnterTrusted
+)
+
+func (g GateKind) String() string {
+	switch g {
+	case GateEnterUntrusted:
+		return "gate(T->U)"
+	case GateEnterTrusted:
+		return "gate(U->T)"
+	default:
+		return "nogate"
+	}
+}
+
+// Block is a basic block: a label and a straight-line instruction list
+// ending (by validation) in a terminator.
+type Block struct {
+	Name   string
+	Index  int
+	Instrs []Instr
+}
+
+// Terminator returns the block's final instruction, or nil if empty.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	return &b.Instrs[len(b.Instrs)-1]
+}
+
+// Func is one IR function.
+type Func struct {
+	Name   string
+	Params []string
+	Blocks []*Block
+
+	// Untrusted carries the library-level annotation down to the function,
+	// as the rustc plugin's AST expansion does for FFI crates (§4.1).
+	Untrusted bool
+	// Exported marks externally visible functions; trusted exported
+	// functions receive entry (reverse) gates.
+	Exported bool
+	// AddressTaken is set by compile.MarkAddressTaken for functions whose
+	// address escapes via funcaddr; they are legal icall targets (CFI) and,
+	// if trusted, conservatively receive entry gates (§3.2).
+	AddressTaken bool
+
+	blockByName map[string]*Block
+}
+
+// Block returns the named block.
+func (f *Func) Block(name string) (*Block, bool) {
+	if f.blockByName == nil {
+		f.reindex()
+	}
+	b, ok := f.blockByName[name]
+	return b, ok
+}
+
+// Entry returns the function's first block, or nil.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// AddBlock appends a new empty block with the given label.
+func (f *Func) AddBlock(name string) *Block {
+	b := &Block{Name: name, Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	if f.blockByName == nil {
+		f.blockByName = make(map[string]*Block)
+	}
+	f.blockByName[name] = b
+	return b
+}
+
+func (f *Func) reindex() {
+	f.blockByName = make(map[string]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		b.Index = i
+		f.blockByName[b.Name] = b
+	}
+}
+
+// NeedsEntryGate reports whether the function must re-enter T through a
+// reverse gate when invoked while executing in U: any trusted function
+// that is exported or address-taken (§3.3: "we instrument all
+// address-taken and externally visible APIs from T").
+func (f *Func) NeedsEntryGate() bool {
+	return !f.Untrusted && (f.Exported || f.AddressTaken)
+}
+
+// Module is a compilation unit: an ordered set of functions.
+type Module struct {
+	Name  string
+	Funcs []*Func
+
+	funcByName map[string]*Func
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, funcByName: make(map[string]*Func)}
+}
+
+// AddFunc appends a function; redefinition is an error.
+func (m *Module) AddFunc(f *Func) error {
+	if m.funcByName == nil {
+		m.reindex()
+	}
+	if _, dup := m.funcByName[f.Name]; dup {
+		return fmt.Errorf("ir: duplicate function %q", f.Name)
+	}
+	m.Funcs = append(m.Funcs, f)
+	m.funcByName[f.Name] = f
+	return nil
+}
+
+// Func returns the named function.
+func (m *Module) Func(name string) (*Func, bool) {
+	if m.funcByName == nil {
+		m.reindex()
+	}
+	f, ok := m.funcByName[name]
+	return f, ok
+}
+
+func (m *Module) reindex() {
+	m.funcByName = make(map[string]*Func, len(m.Funcs))
+	for _, f := range m.Funcs {
+		m.funcByName[f.Name] = f
+	}
+}
+
+// AllocSites calls fn for every allocation-site instruction in the module
+// (OpAlloc, OpUAlloc, OpRealloc), in program order.
+func (m *Module) AllocSites(fn func(f *Func, b *Block, ins *Instr)) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case OpAlloc, OpUAlloc, OpRealloc, OpSAlloc, OpUSAlloc:
+					fn(f, b, &b.Instrs[i])
+				}
+			}
+		}
+	}
+}

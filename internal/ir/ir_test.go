@@ -1,0 +1,149 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestModuleAddAndLookup(t *testing.T) {
+	m := NewModule("m")
+	f := &Func{Name: "f"}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFunc(&Func{Name: "f"}); err == nil {
+		t.Error("duplicate function accepted")
+	}
+	got, ok := m.Func("f")
+	if !ok || got != f {
+		t.Errorf("Func lookup = %v, %v", got, ok)
+	}
+	if _, ok := m.Func("g"); ok {
+		t.Error("missing function found")
+	}
+}
+
+func TestModuleLookupWithoutIndex(t *testing.T) {
+	// A module built by literal (no NewModule) must still resolve lookups.
+	m := &Module{Name: "lit", Funcs: []*Func{{Name: "a"}, {Name: "b"}}}
+	if _, ok := m.Func("b"); !ok {
+		t.Error("literal module lookup failed")
+	}
+}
+
+func TestFuncBlocks(t *testing.T) {
+	f := &Func{Name: "f"}
+	e := f.AddBlock("entry")
+	l := f.AddBlock("loop")
+	if f.Entry() != e {
+		t.Error("Entry() wrong")
+	}
+	if b, ok := f.Block("loop"); !ok || b != l {
+		t.Error("Block lookup wrong")
+	}
+	if l.Index != 1 {
+		t.Errorf("block index = %d", l.Index)
+	}
+	if (&Func{}).Entry() != nil {
+		t.Error("empty func Entry() should be nil")
+	}
+	// Literal-built functions index lazily.
+	g := &Func{Name: "g", Blocks: []*Block{{Name: "x"}}}
+	if _, ok := g.Block("x"); !ok {
+		t.Error("literal func block lookup failed")
+	}
+}
+
+func TestTerminator(t *testing.T) {
+	b := &Block{Name: "b"}
+	if b.Terminator() != nil {
+		t.Error("empty block has a terminator")
+	}
+	b.Instrs = []Instr{{Op: OpNop}, {Op: OpRet}}
+	if b.Terminator().Op != OpRet {
+		t.Error("terminator wrong")
+	}
+}
+
+func TestNeedsEntryGate(t *testing.T) {
+	cases := []struct {
+		f    Func
+		want bool
+	}{
+		{Func{Untrusted: false, Exported: true}, true},
+		{Func{Untrusted: false, AddressTaken: true}, true},
+		{Func{Untrusted: false}, false},
+		{Func{Untrusted: true, Exported: true}, false},
+		{Func{Untrusted: true, AddressTaken: true}, false},
+	}
+	for i, c := range cases {
+		if got := c.f.NeedsEntryGate(); got != c.want {
+			t.Errorf("case %d: NeedsEntryGate = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAllocSitesVisitsAllKinds(t *testing.T) {
+	m := NewModule("m")
+	f := &Func{Name: "f"}
+	b := f.AddBlock("e")
+	b.Instrs = []Instr{
+		{Op: OpAlloc, Site: profile.AllocID{Func: "f"}},
+		{Op: OpLoad},
+		{Op: OpUAlloc},
+		{Op: OpRealloc},
+		{Op: OpRet},
+	}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	var ops []Op
+	m.AllocSites(func(_ *Func, _ *Block, ins *Instr) { ops = append(ops, ins.Op) })
+	if len(ops) != 3 || ops[0] != OpAlloc || ops[1] != OpUAlloc || ops[2] != OpRealloc {
+		t.Errorf("visited ops = %v", ops)
+	}
+}
+
+func TestOperandHelpers(t *testing.T) {
+	if !Imm(5).IsImm || Imm(5).Imm != 5 {
+		t.Error("Imm broken")
+	}
+	if Reg("x").IsImm || Reg("x").Reg != "x" {
+		t.Error("Reg broken")
+	}
+	if Imm(7).String() != "7" || Reg("v").String() != "v" {
+		t.Error("Operand.String broken")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if OpAlloc.String() != "alloc" || OpICall.String() != "icall" {
+		t.Error("op names")
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown op name empty")
+	}
+	if BinAdd.String() != "add" || BinGe.String() != "ge" {
+		t.Error("bin names")
+	}
+	if BinKind(99).String() == "" {
+		t.Error("unknown bin name empty")
+	}
+	if GateEnterUntrusted.String() != "gate(T->U)" ||
+		GateEnterTrusted.String() != "gate(U->T)" ||
+		GateNone.String() != "nogate" {
+		t.Error("gate names")
+	}
+}
+
+func TestBinKindByNameComplete(t *testing.T) {
+	for name, kind := range BinKindByName {
+		if kind.String() != name {
+			t.Errorf("BinKindByName[%q] = %v, round trip broken", name, kind)
+		}
+	}
+	if len(BinKindByName) != 16 {
+		t.Errorf("binops = %d, want 16", len(BinKindByName))
+	}
+}

@@ -1,0 +1,42 @@
+package jsengine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ffi"
+)
+
+// FuzzScript: arbitrary script text must never panic the engine — it
+// either runs (within a tiny step budget) or fails with a syntax or
+// runtime error. The engine executes over a real MPK-enforced program,
+// so heap-touching scripts also exercise the checked-access path.
+func FuzzScript(f *testing.F) {
+	f.Add("1 + 2;")
+	f.Add("var a = new Array(4); a[0] = 1.5; a[0];")
+	f.Add("var o = {k: 1}; o.k += 2; o.k;")
+	f.Add("function g(n) { if (n < 1) return 0; return g(n - 1); } g(3);")
+	f.Add("for (var i = 0; i < 3; i++) print(i);")
+	f.Add(`"str".charCodeAt(0) + "ab".substr(1).length;`)
+	f.Add("var a = new IntArray(2); a.setLength(10); a[5];")
+	f.Add("while (true) {}")
+	f.Add("/* comment")
+	f.Add("{};")
+	f.Add("break;")
+
+	reg := ffi.NewRegistry()
+	eng := NewEngine(Options{StepLimit: 20_000})
+	if err := eng.Install(reg, DefaultLib); err != nil {
+		f.Fatal(err)
+	}
+	prog, err := core.NewProgram(reg, core.Base, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	th := prog.Main()
+
+	f.Fuzz(func(t *testing.T, src string) {
+		eng.steps = 0 // fresh budget per input
+		_, _ = eng.Eval(th, src)
+	})
+}

@@ -1,0 +1,111 @@
+// Package mpk models Intel Memory Protection Keys (MPK/PKU): sixteen
+// protection keys that tag pages, and a per-thread PKRU rights register
+// holding two bits (access-disable, write-disable) per key.
+//
+// The model follows the architectural semantics described in the Intel SDM
+// and used by PKRU-Safe: a PKRU value of zero grants full access to every
+// key, key 0 is the default key for untagged memory, and rights are checked
+// on every data access against the key of the page being touched.
+package mpk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NumKeys is the number of protection keys the hardware provides.
+const NumKeys = 16
+
+// Key identifies one of the sixteen protection keys (0..15).
+type Key uint8
+
+// Valid reports whether k is an architecturally valid key.
+func (k Key) Valid() bool { return k < NumKeys }
+
+func (k Key) String() string { return fmt.Sprintf("pkey%d", uint8(k)) }
+
+// Rights is the two-bit per-key access control field from the PKRU register.
+type Rights uint8
+
+const (
+	// AccessDisable (AD) forbids every data access to pages with the key.
+	AccessDisable Rights = 1 << 0
+	// WriteDisable (WD) forbids writes to pages with the key.
+	WriteDisable Rights = 1 << 1
+
+	// AllowAll grants read and write access.
+	AllowAll Rights = 0
+	// ReadOnly grants reads but forbids writes.
+	ReadOnly Rights = WriteDisable
+	// DenyAll forbids every access.
+	DenyAll Rights = AccessDisable | WriteDisable
+)
+
+// CanRead reports whether the rights permit a data read.
+func (r Rights) CanRead() bool { return r&AccessDisable == 0 }
+
+// CanWrite reports whether the rights permit a data write.
+func (r Rights) CanWrite() bool { return r&(AccessDisable|WriteDisable) == 0 }
+
+func (r Rights) String() string {
+	switch r & DenyAll {
+	case AllowAll:
+		return "rw"
+	case ReadOnly:
+		return "r-"
+	default:
+		return "--"
+	}
+}
+
+// PKRU is the 32-bit Protection Key Rights for User pages register: two bits
+// per key, key k occupying bits [2k, 2k+1]. The zero value permits every
+// access, exactly as on hardware after XRSTOR of an all-zero state.
+type PKRU uint32
+
+// PermitAll is the PKRU value granting read/write access under every key.
+const PermitAll PKRU = 0
+
+// Rights returns the rights PKRU grants for key k.
+func (p PKRU) Rights(k Key) Rights {
+	return Rights(p>>(2*uint32(k))) & DenyAll
+}
+
+// With returns a copy of p with the rights for key k replaced.
+func (p PKRU) With(k Key, r Rights) PKRU {
+	shift := 2 * uint32(k)
+	return p&^(PKRU(DenyAll)<<shift) | PKRU(r&DenyAll)<<shift
+}
+
+// CanRead reports whether p permits reading a page tagged with key k.
+func (p PKRU) CanRead(k Key) bool { return p.Rights(k).CanRead() }
+
+// CanWrite reports whether p permits writing a page tagged with key k.
+func (p PKRU) CanWrite(k Key) bool { return p.Rights(k).CanWrite() }
+
+// DenyAllExcept returns a PKRU value that forbids every access except under
+// the listed keys, which retain full access. This is the value a PKRU-Safe
+// call gate loads when entering the untrusted compartment: everything but
+// the shared keys becomes inaccessible.
+func DenyAllExcept(keys ...Key) PKRU {
+	var p PKRU
+	for k := Key(0); k < NumKeys; k++ {
+		p = p.With(k, DenyAll)
+	}
+	for _, k := range keys {
+		p = p.With(k, AllowAll)
+	}
+	return p
+}
+
+func (p PKRU) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PKRU(%#08x:", uint32(p))
+	for k := Key(0); k < NumKeys; k++ {
+		if r := p.Rights(k); r != AllowAll {
+			fmt.Fprintf(&b, " %d=%s", k, r)
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}

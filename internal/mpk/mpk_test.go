@@ -1,0 +1,144 @@
+package mpk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroPKRUPermitsEverything(t *testing.T) {
+	var p PKRU
+	for k := Key(0); k < NumKeys; k++ {
+		if !p.CanRead(k) || !p.CanWrite(k) {
+			t.Errorf("zero PKRU must permit rw for %v", k)
+		}
+	}
+}
+
+func TestRightsSemantics(t *testing.T) {
+	cases := []struct {
+		r           Rights
+		read, write bool
+	}{
+		{AllowAll, true, true},
+		{ReadOnly, true, false},
+		{DenyAll, false, false},
+		{AccessDisable, false, false}, // AD alone forbids reads and writes
+	}
+	for _, c := range cases {
+		if got := c.r.CanRead(); got != c.read {
+			t.Errorf("%v.CanRead() = %v, want %v", c.r, got, c.read)
+		}
+		if got := c.r.CanWrite(); got != c.write {
+			t.Errorf("%v.CanWrite() = %v, want %v", c.r, got, c.write)
+		}
+	}
+}
+
+func TestWithIsolatesKeys(t *testing.T) {
+	p := PermitAll.With(3, DenyAll).With(7, ReadOnly)
+	if p.Rights(3) != DenyAll {
+		t.Errorf("key 3 rights = %v, want %v", p.Rights(3), DenyAll)
+	}
+	if p.Rights(7) != ReadOnly {
+		t.Errorf("key 7 rights = %v, want %v", p.Rights(7), ReadOnly)
+	}
+	for k := Key(0); k < NumKeys; k++ {
+		if k == 3 || k == 7 {
+			continue
+		}
+		if p.Rights(k) != AllowAll {
+			t.Errorf("key %v rights = %v, want untouched AllowAll", k, p.Rights(k))
+		}
+	}
+}
+
+func TestWithOverwritesPriorRights(t *testing.T) {
+	p := PermitAll.With(5, DenyAll).With(5, AllowAll)
+	if p != PermitAll {
+		t.Errorf("resetting key 5 should restore PermitAll, got %v", p)
+	}
+}
+
+func TestDenyAllExcept(t *testing.T) {
+	p := DenyAllExcept(0, 9)
+	for k := Key(0); k < NumKeys; k++ {
+		wantRW := k == 0 || k == 9
+		if got := p.CanRead(k) && p.CanWrite(k); got != wantRW {
+			t.Errorf("key %v accessible = %v, want %v", k, got, wantRW)
+		}
+	}
+}
+
+func TestDenyAllExceptNoKeys(t *testing.T) {
+	p := DenyAllExcept()
+	for k := Key(0); k < NumKeys; k++ {
+		if p.CanRead(k) || p.CanWrite(k) {
+			t.Errorf("key %v should be fully inaccessible", k)
+		}
+	}
+}
+
+func TestKeyValid(t *testing.T) {
+	if !Key(0).Valid() || !Key(15).Valid() {
+		t.Error("keys 0 and 15 must be valid")
+	}
+	if Key(16).Valid() || Key(255).Valid() {
+		t.Error("keys >= 16 must be invalid")
+	}
+}
+
+// Property: With(k, r) sets exactly the rights asked for, and reading back
+// any other key is unchanged.
+func TestWithRoundTripProperty(t *testing.T) {
+	f := func(raw uint32, kRaw uint8, rRaw uint8) bool {
+		p := PKRU(raw)
+		k := Key(kRaw % NumKeys)
+		r := Rights(rRaw) & DenyAll
+		q := p.With(k, r)
+		if q.Rights(k) != r {
+			return false
+		}
+		for other := Key(0); other < NumKeys; other++ {
+			if other != k && q.Rights(other) != p.Rights(other) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CanWrite implies CanRead for every PKRU/key pair (the
+// architecture has no write-only state).
+func TestWriteImpliesReadProperty(t *testing.T) {
+	f := func(raw uint32, kRaw uint8) bool {
+		p := PKRU(raw)
+		k := Key(kRaw % NumKeys)
+		return !p.CanWrite(k) || p.CanRead(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := AllowAll.String(); got != "rw" {
+		t.Errorf("AllowAll = %q", got)
+	}
+	if got := ReadOnly.String(); got != "r-" {
+		t.Errorf("ReadOnly = %q", got)
+	}
+	if got := DenyAll.String(); got != "--" {
+		t.Errorf("DenyAll = %q", got)
+	}
+	if got := Key(4).String(); got != "pkey4" {
+		t.Errorf("Key(4) = %q", got)
+	}
+	// PKRU string should mention only restricted keys.
+	s := PermitAll.With(2, DenyAll).String()
+	if want := "PKRU(0x00000030: 2=--)"; s != want {
+		t.Errorf("PKRU string = %q, want %q", s, want)
+	}
+}

@@ -1,0 +1,37 @@
+package pkir
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+)
+
+// FuzzParse: arbitrary input must either parse into a module that
+// survives validation + formatting + re-parsing, or fail with a
+// ParseError — never panic.
+func FuzzParse(f *testing.F) {
+	f.Add("module m\nfunc f() {\ne:\n  ret\n}\n")
+	f.Add(quickstartSrc)
+	f.Add("module m\nuntrusted export func u(p, q) {\nentry:\n  x = add p, q\n  br x, entry, entry\n}\n")
+	f.Add("module x\n")
+	f.Add("")
+	f.Add("module m\nfunc f() {\ne:\n  a, b = call f()\n  ret\n}")
+	f.Add("module m\nfunc f() {\ne:\n  x = salloc 8\n  usalloc 4\n  ret\n}")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine
+		}
+		// Accepted input must format and re-parse to the same text.
+		text := Format(m)
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse of formatted output failed: %v\ninput: %q\nformatted:\n%s", err, src, text)
+		}
+		if Format(m2) != text {
+			t.Fatalf("format not stable for input %q", src)
+		}
+		// Validation and the pass pipeline must not panic either way.
+		_, _ = compile.Pipeline(m, nil)
+	})
+}

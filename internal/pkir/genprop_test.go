@@ -1,0 +1,164 @@
+package pkir
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ir"
+)
+
+// genModule builds a random, always-valid module: a handful of functions
+// with random annotations, straight-line and branching blocks, and calls
+// wired only to already-generated functions with correct arity.
+func genModule(rng *rand.Rand) *ir.Module {
+	m := ir.NewModule(fmt.Sprintf("gen%d", rng.Intn(1000)))
+	nFuncs := rng.Intn(4) + 1
+	type sig struct {
+		name   string
+		params int
+	}
+	var sigs []sig
+	for fi := 0; fi < nFuncs; fi++ {
+		f := &ir.Func{
+			Name:      fmt.Sprintf("f%d", fi),
+			Untrusted: rng.Intn(3) == 0,
+			Exported:  rng.Intn(2) == 0,
+		}
+		nParams := rng.Intn(3)
+		for p := 0; p < nParams; p++ {
+			f.Params = append(f.Params, fmt.Sprintf("p%d", p))
+		}
+		// Registers available so far (params + defined).
+		regs := append([]string{}, f.Params...)
+		operand := func() ir.Operand {
+			if len(regs) == 0 || rng.Intn(2) == 0 {
+				return ir.Imm(uint64(rng.Intn(1000)))
+			}
+			return ir.Reg(regs[rng.Intn(len(regs))])
+		}
+		newReg := func() string {
+			r := fmt.Sprintf("v%d", len(regs))
+			regs = append(regs, r)
+			return r
+		}
+		nBlocks := rng.Intn(3) + 1
+		for bi := 0; bi < nBlocks; bi++ {
+			b := f.AddBlock(fmt.Sprintf("b%d", bi))
+			nInstrs := rng.Intn(5)
+			for ii := 0; ii < nInstrs; ii++ {
+				switch rng.Intn(7) {
+				case 0:
+					b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpConst, Dst: []string{newReg()}, Args: []ir.Operand{ir.Imm(uint64(rng.Intn(99)))}})
+				case 1:
+					kinds := []ir.BinKind{ir.BinAdd, ir.BinMul, ir.BinXor, ir.BinLt}
+					b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpBin, Bin: kinds[rng.Intn(len(kinds))], Dst: []string{newReg()}, Args: []ir.Operand{operand(), operand()}})
+				case 2:
+					ops := []ir.Op{ir.OpAlloc, ir.OpUAlloc, ir.OpSAlloc, ir.OpUSAlloc}
+					b.Instrs = append(b.Instrs, ir.Instr{Op: ops[rng.Intn(len(ops))], Dst: []string{newReg()}, Args: []ir.Operand{ir.Imm(uint64(rng.Intn(256) + 1))}})
+				case 3:
+					b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpPrint, Args: []ir.Operand{operand()}})
+				case 4:
+					b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpNop})
+				case 5:
+					if len(sigs) > 0 {
+						callee := sigs[rng.Intn(len(sigs))]
+						args := make([]ir.Operand, callee.params)
+						for i := range args {
+							args[i] = operand()
+						}
+						ins := ir.Instr{Op: ir.OpCall, Callee: callee.name, Args: args}
+						if rng.Intn(2) == 0 {
+							ins.Dst = []string{newReg()}
+						}
+						b.Instrs = append(b.Instrs, ins)
+					}
+				case 6:
+					b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpStoreB, Args: []ir.Operand{operand(), operand()}})
+				}
+			}
+			// Terminator: jump forward, branch, or return.
+			switch {
+			case bi+1 < nBlocks && rng.Intn(2) == 0:
+				b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpJmp, Then: fmt.Sprintf("b%d", bi+1)})
+			case bi+1 < nBlocks:
+				b.Instrs = append(b.Instrs, ir.Instr{
+					Op: ir.OpBr, Args: []ir.Operand{operand()},
+					Then: fmt.Sprintf("b%d", bi+1), Else: fmt.Sprintf("b%d", rng.Intn(bi+1)),
+				})
+			default:
+				ins := ir.Instr{Op: ir.OpRet}
+				if rng.Intn(2) == 0 {
+					ins.Args = []ir.Operand{operand()}
+				}
+				b.Instrs = append(b.Instrs, ins)
+			}
+		}
+		if err := m.AddFunc(f); err != nil {
+			panic(err)
+		}
+		sigs = append(sigs, sig{name: f.Name, params: len(f.Params)})
+	}
+	return m
+}
+
+// TestGeneratedModulesRoundTrip: for randomly generated valid modules,
+// Format(Parse(Format(m))) is a fixed point, validation passes before
+// and after, and compile statistics are preserved across the round trip.
+func TestGeneratedModulesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	for i := 0; i < 200; i++ {
+		m := genModule(rng)
+		if err := compile.Validate(m); err != nil {
+			t.Fatalf("generator produced invalid module: %v\n%s", err, Format(m))
+		}
+		text := Format(m)
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+		}
+		text2 := Format(m2)
+		if text2 != text {
+			t.Fatalf("Format not a fixed point:\n--- first\n%s\n--- second\n%s", text, text2)
+		}
+		st1, err := compile.Pipeline(m, nil)
+		if err != nil {
+			t.Fatalf("pipeline on original: %v", err)
+		}
+		st2, err := compile.Pipeline(m2, nil)
+		if err != nil {
+			t.Fatalf("pipeline on round-tripped: %v", err)
+		}
+		if st1 != st2 {
+			t.Fatalf("pipeline stats diverged: %+v vs %+v\n%s", st1, st2, text)
+		}
+	}
+}
+
+// TestGeneratedModulesAnnotationsSurvive: trust and export annotations
+// survive the textual round trip for every generated function.
+func TestGeneratedModulesAnnotationsSurvive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		m := genModule(rng)
+		m2, err := Parse(Format(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range m.Funcs {
+			g, ok := m2.Func(f.Name)
+			if !ok {
+				t.Fatalf("function %s lost", f.Name)
+			}
+			if g.Untrusted != f.Untrusted || g.Exported != f.Exported {
+				t.Fatalf("%s annotations changed: %v/%v -> %v/%v",
+					f.Name, f.Untrusted, f.Exported, g.Untrusted, g.Exported)
+			}
+			if strings.Join(g.Params, ",") != strings.Join(f.Params, ",") {
+				t.Fatalf("%s params changed", f.Name)
+			}
+		}
+	}
+}

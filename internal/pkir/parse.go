@@ -1,0 +1,412 @@
+// Package pkir implements the textual form of the IR: a small, LLVM-ish
+// assembly in which the example programs and the pkrusafe CLI's inputs are
+// written. The syntax, by example:
+//
+//	module quickstart
+//
+//	; the unsafe C library, annotated untrusted at library level
+//	untrusted export func clib_write(ptr) {
+//	entry:
+//	  store ptr, 1337
+//	  ret
+//	}
+//
+//	export func main() {
+//	entry:
+//	  p = alloc 8
+//	  call clib_write(p)
+//	  v = load p
+//	  print v
+//	  ret
+//	}
+package pkir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("pkir: line %d: %s", e.Line, e.Msg)
+}
+
+type parser struct {
+	lines []string
+	pos   int // index of the next line
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next non-empty, comment-stripped line.
+func (p *parser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		p.pos++
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+// Parse parses a module from source text.
+func Parse(src string) (*ir.Module, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	line, ok := p.next()
+	if !ok {
+		return nil, p.errf("empty input")
+	}
+	name, found := strings.CutPrefix(line, "module ")
+	if !found {
+		return nil, p.errf("expected 'module <name>', got %q", line)
+	}
+	m := ir.NewModule(strings.TrimSpace(name))
+	for {
+		line, ok := p.next()
+		if !ok {
+			return m, nil
+		}
+		f, err := p.parseFunc(line)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddFunc(f); err != nil {
+			return nil, p.errf("%v", err)
+		}
+	}
+}
+
+// parseFunc parses one function starting at its header line.
+func (p *parser) parseFunc(header string) (*ir.Func, error) {
+	f := &ir.Func{}
+	rest := header
+	for {
+		switch {
+		case strings.HasPrefix(rest, "untrusted "):
+			f.Untrusted = true
+			rest = strings.TrimSpace(rest[len("untrusted"):])
+		case strings.HasPrefix(rest, "export "):
+			f.Exported = true
+			rest = strings.TrimSpace(rest[len("export"):])
+		case strings.HasPrefix(rest, "func "):
+			rest = strings.TrimSpace(rest[len("func"):])
+			goto signature
+		default:
+			return nil, p.errf("expected function header, got %q", header)
+		}
+	}
+signature:
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeIdx < open {
+		return nil, p.errf("malformed function signature %q", rest)
+	}
+	f.Name = strings.TrimSpace(rest[:open])
+	if f.Name == "" || !isIdent(f.Name) {
+		return nil, p.errf("bad function name %q", f.Name)
+	}
+	for _, param := range splitArgs(rest[open+1 : closeIdx]) {
+		if !isIdent(param) {
+			return nil, p.errf("bad parameter name %q", param)
+		}
+		f.Params = append(f.Params, param)
+	}
+	if tail := strings.TrimSpace(rest[closeIdx+1:]); tail != "{" {
+		return nil, p.errf("expected '{' after signature, got %q", tail)
+	}
+
+	var cur *ir.Block
+	for {
+		line, ok := p.next()
+		if !ok {
+			return nil, p.errf("unexpected EOF in function %q", f.Name)
+		}
+		if line == "}" {
+			if len(f.Blocks) == 0 {
+				return nil, p.errf("function %q has no blocks", f.Name)
+			}
+			return f, nil
+		}
+		if label, found := strings.CutSuffix(line, ":"); found && isIdent(label) {
+			if _, dup := f.Block(label); dup {
+				return nil, p.errf("duplicate block label %q", label)
+			}
+			cur = f.AddBlock(label)
+			continue
+		}
+		if cur == nil {
+			return nil, p.errf("instruction before first block label: %q", line)
+		}
+		ins, err := p.parseInstr(line)
+		if err != nil {
+			return nil, err
+		}
+		cur.Instrs = append(cur.Instrs, ins)
+	}
+}
+
+// parseInstr parses one instruction line.
+func (p *parser) parseInstr(line string) (ir.Instr, error) {
+	ins := ir.Instr{Line: p.pos}
+	var dsts []string
+	rest := line
+	// Optional "d1, d2 = " destination list; '=' must precede any '('.
+	if eq := strings.IndexByte(line, '='); eq >= 0 {
+		if par := strings.IndexByte(line, '('); par < 0 || eq < par {
+			for _, d := range splitArgs(line[:eq]) {
+				if !isIdent(d) {
+					return ins, p.errf("bad destination %q", d)
+				}
+				dsts = append(dsts, d)
+			}
+			if len(dsts) == 0 {
+				return ins, p.errf("empty destination list in %q", line)
+			}
+			rest = strings.TrimSpace(line[eq+1:])
+		}
+	}
+	ins.Dst = dsts
+
+	op, args, _ := strings.Cut(rest, " ")
+	args = strings.TrimSpace(args)
+
+	needDst := func(n int) error {
+		if len(dsts) != n {
+			return p.errf("%s needs %d destination(s), got %d", op, n, len(dsts))
+		}
+		return nil
+	}
+	operands := func(want int) ([]ir.Operand, error) {
+		parts := splitArgs(args)
+		if len(parts) != want {
+			return nil, p.errf("%s needs %d operand(s), got %d in %q", op, want, len(parts), line)
+		}
+		out := make([]ir.Operand, len(parts))
+		for i, s := range parts {
+			o, err := parseOperand(s)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			out[i] = o
+		}
+		return out, nil
+	}
+
+	var err error
+	switch op {
+	case "const":
+		ins.Op = ir.OpConst
+		if err = needDst(1); err != nil {
+			return ins, err
+		}
+		ins.Args, err = operands(1)
+	case "alloc", "ualloc", "salloc", "usalloc":
+		switch op {
+		case "alloc":
+			ins.Op = ir.OpAlloc
+		case "ualloc":
+			ins.Op = ir.OpUAlloc
+		case "salloc":
+			ins.Op = ir.OpSAlloc
+		default:
+			ins.Op = ir.OpUSAlloc
+		}
+		if err = needDst(1); err != nil {
+			return ins, err
+		}
+		ins.Args, err = operands(1)
+	case "realloc":
+		ins.Op = ir.OpRealloc
+		if err = needDst(1); err != nil {
+			return ins, err
+		}
+		ins.Args, err = operands(2)
+	case "free":
+		ins.Op = ir.OpFree
+		if err = needDst(0); err != nil {
+			return ins, err
+		}
+		ins.Args, err = operands(1)
+	case "load", "loadb":
+		ins.Op = ir.OpLoad
+		if op == "loadb" {
+			ins.Op = ir.OpLoadB
+		}
+		if err = needDst(1); err != nil {
+			return ins, err
+		}
+		ins.Args, err = operands(1)
+	case "store", "storeb":
+		ins.Op = ir.OpStore
+		if op == "storeb" {
+			ins.Op = ir.OpStoreB
+		}
+		if err = needDst(0); err != nil {
+			return ins, err
+		}
+		ins.Args, err = operands(2)
+	case "call", "icall":
+		return p.parseCall(op, rest, dsts)
+	case "funcaddr":
+		ins.Op = ir.OpFuncAddr
+		if err = needDst(1); err != nil {
+			return ins, err
+		}
+		if !isIdent(args) {
+			return ins, p.errf("funcaddr needs a function name, got %q", args)
+		}
+		ins.Callee = args
+	case "br":
+		ins.Op = ir.OpBr
+		parts := splitArgs(args)
+		if len(parts) != 3 {
+			return ins, p.errf("br needs 'cond, then, else', got %q", args)
+		}
+		var o ir.Operand
+		if o, err = parseOperand(parts[0]); err != nil {
+			return ins, p.errf("%v", err)
+		}
+		ins.Args = []ir.Operand{o}
+		ins.Then, ins.Else = parts[1], parts[2]
+	case "jmp":
+		ins.Op = ir.OpJmp
+		if !isIdent(args) {
+			return ins, p.errf("jmp needs a label, got %q", args)
+		}
+		ins.Then = args
+	case "ret":
+		ins.Op = ir.OpRet
+		if args != "" {
+			parts := splitArgs(args)
+			ins.Args = make([]ir.Operand, len(parts))
+			for i, s := range parts {
+				if ins.Args[i], err = parseOperand(s); err != nil {
+					return ins, p.errf("%v", err)
+				}
+			}
+		}
+	case "print":
+		ins.Op = ir.OpPrint
+		ins.Args, err = operands(1)
+	case "nop":
+		ins.Op = ir.OpNop
+	default:
+		if kind, ok := ir.BinKindByName[op]; ok {
+			ins.Op = ir.OpBin
+			ins.Bin = kind
+			if err = needDst(1); err != nil {
+				return ins, err
+			}
+			ins.Args, err = operands(2)
+		} else {
+			return ins, p.errf("unknown instruction %q", op)
+		}
+	}
+	return ins, err
+}
+
+// parseCall handles "call f(a, b)" and "icall fp(a, b)".
+func (p *parser) parseCall(op, rest string, dsts []string) (ir.Instr, error) {
+	ins := ir.Instr{Dst: dsts, Line: p.pos}
+	body := strings.TrimSpace(rest[len(op):])
+	open := strings.IndexByte(body, '(')
+	closeIdx := strings.LastIndexByte(body, ')')
+	if open < 0 || closeIdx < open {
+		return ins, p.errf("malformed %s %q", op, body)
+	}
+	target := strings.TrimSpace(body[:open])
+	argList := splitArgs(body[open+1 : closeIdx])
+	ins.Args = make([]ir.Operand, 0, len(argList))
+	for _, s := range argList {
+		o, err := parseOperand(s)
+		if err != nil {
+			return ins, p.errf("%v", err)
+		}
+		ins.Args = append(ins.Args, o)
+	}
+	if op == "call" {
+		ins.Op = ir.OpCall
+		if !isIdent(target) {
+			return ins, p.errf("call needs a function name, got %q", target)
+		}
+		ins.Callee = target
+	} else {
+		ins.Op = ir.OpICall
+		fp, err := parseOperand(target)
+		if err != nil {
+			return ins, p.errf("%v", err)
+		}
+		// The function-pointer operand goes first.
+		ins.Args = append([]ir.Operand{fp}, ins.Args...)
+	}
+	return ins, nil
+}
+
+func parseOperand(s string) (ir.Operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ir.Operand{}, fmt.Errorf("empty operand")
+	}
+	if c := s[0]; c >= '0' && c <= '9' {
+		v, err := strconv.ParseUint(s, 0, 64)
+		if err != nil {
+			return ir.Operand{}, fmt.Errorf("bad immediate %q: %v", s, err)
+		}
+		return ir.Imm(v), nil
+	}
+	if !isIdent(s) {
+		return ir.Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return ir.Reg(s), nil
+}
+
+// splitArgs splits a comma-separated list, trimming whitespace and
+// dropping an empty tail.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9', r == '.', r == ':':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,249 @@
+package pkir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+const quickstartSrc = `
+module quickstart
+
+; unsafe C library
+untrusted export func clib_write(ptr) {
+entry:
+  store ptr, 1337
+  ret
+}
+
+export func main() {
+entry:
+  p = alloc 8
+  call clib_write(p)
+  v = load p
+  print v
+  ret v
+}
+`
+
+func TestParseQuickstart(t *testing.T) {
+	m, err := Parse(quickstartSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "quickstart" {
+		t.Errorf("module name = %q", m.Name)
+	}
+	if len(m.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(m.Funcs))
+	}
+	clib, ok := m.Func("clib_write")
+	if !ok || !clib.Untrusted || !clib.Exported {
+		t.Errorf("clib_write = %+v", clib)
+	}
+	if len(clib.Params) != 1 || clib.Params[0] != "ptr" {
+		t.Errorf("params = %v", clib.Params)
+	}
+	main, _ := m.Func("main")
+	if main.Untrusted {
+		t.Error("main marked untrusted")
+	}
+	entry := main.Entry()
+	if entry == nil || entry.Name != "entry" || len(entry.Instrs) != 5 {
+		t.Fatalf("entry block = %+v", entry)
+	}
+	if entry.Instrs[0].Op != ir.OpAlloc || entry.Instrs[0].Dst[0] != "p" {
+		t.Errorf("instr 0 = %+v", entry.Instrs[0])
+	}
+	if entry.Instrs[1].Op != ir.OpCall || entry.Instrs[1].Callee != "clib_write" {
+		t.Errorf("instr 1 = %+v", entry.Instrs[1])
+	}
+	if term := entry.Terminator(); term.Op != ir.OpRet || len(term.Args) != 1 {
+		t.Errorf("terminator = %+v", term)
+	}
+}
+
+func TestParseAllInstructionForms(t *testing.T) {
+	src := `
+module all
+export func callee(a, b) {
+entry:
+  ret a
+}
+export func main() {
+entry:
+  c = const 42
+  h = const 0x10
+  s = add c, h
+  d = sub s, 1
+  m = mul d, 2
+  q = div m, 3
+  r = mod q, 5
+  x = and r, 7
+  y = or x, 8
+  z = xor y, 1
+  sl = shl z, 2
+  sr = shr sl, 1
+  e1 = eq sr, sr
+  n1 = ne sr, 0
+  l1 = lt 1, 2
+  le1 = le 2, 2
+  g1 = gt 3, 2
+  ge1 = ge 3, 3
+  p = alloc 64
+  u = ualloc 32
+  p2 = realloc p, 128
+  store p2, 99
+  v = load p2
+  storeb u, 255
+  vb = loadb u
+  free u
+  free p2
+  fp = funcaddr callee
+  r1 = call callee(1, 2)
+  r2 = icall fp(3, 4)
+  print r2
+  nop
+  br e1, yes, no
+yes:
+  jmp done
+no:
+  jmp done
+done:
+  ret
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, _ := m.Func("main")
+	if len(main.Blocks) != 4 {
+		t.Errorf("blocks = %d", len(main.Blocks))
+	}
+	// Exhaustive re-parse of the canonical form below covers the details.
+	text := Format(m)
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+	if Format(m2) != text {
+		t.Error("Format not a fixed point")
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	m, err := Parse(quickstartSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse(Format(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := m.Func("main")
+	f2, _ := m2.Func("main")
+	if len(f1.Entry().Instrs) != len(f2.Entry().Instrs) {
+		t.Error("instruction count changed through round trip")
+	}
+	u1, _ := m.Func("clib_write")
+	u2, _ := m2.Func("clib_write")
+	if u1.Untrusted != u2.Untrusted || u1.Exported != u2.Exported {
+		t.Error("annotations lost through round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no module", "func f() {\nentry:\n ret\n}"},
+		{"bad header", "module m\nnonsense f() {"},
+		{"bad func name", "module m\nfunc 9bad() {\nentry:\n  ret\n}"},
+		{"missing brace", "module m\nfunc f()\nentry:\n ret\n}"},
+		{"instr before label", "module m\nfunc f() {\n  ret\n}"},
+		{"dup label", "module m\nfunc f() {\ne:\n  ret\ne:\n  ret\n}"},
+		{"dup func", "module m\nfunc f() {\ne:\n ret\n}\nfunc f() {\ne:\n ret\n}"},
+		{"unknown op", "module m\nfunc f() {\ne:\n  frobnicate x\n}"},
+		{"bad operand count", "module m\nfunc f() {\ne:\n  x = add 1\n}"},
+		{"missing dst", "module m\nfunc f() {\ne:\n  add 1, 2\n}"},
+		{"bad imm", "module m\nfunc f() {\ne:\n  x = const 12z\n}"},
+		{"bad br", "module m\nfunc f() {\ne:\n  br 1, only_one\n}"},
+		{"unterminated func", "module m\nfunc f() {\ne:\n  ret"},
+		{"empty func", "module m\nfunc f() {\n}"},
+		{"bad funcaddr", "module m\nfunc f() {\ne:\n  x = funcaddr 123\n}"},
+		{"bad call", "module m\nfunc f() {\ne:\n  call nope_no_parens\n}"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("accepted invalid input:\n%s", c.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	src := "module m\nfunc f() {\nentry:\n  x = bogus 1\n}\n"
+	_, err := Parse(src)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("error line = %d, want 4", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 4") {
+		t.Errorf("message %q lacks line", pe.Error())
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "module m ; trailing comment\n\n   \n; full comment\nfunc f() { ; brace comment would break — keep on own line\nentry:\n  ret ; done\n}\n"
+	// The '{' line has a comment after it; parser strips comments first.
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("comment handling: %v", err)
+	}
+}
+
+func TestFormatShowsPassMetadata(t *testing.T) {
+	m, _ := Parse(quickstartSrc)
+	main, _ := m.Func("main")
+	main.Entry().Instrs[0].Site.Func = "main"
+	main.Entry().Instrs[1].Gate = ir.GateEnterUntrusted
+	text := Format(m)
+	if !strings.Contains(text, "site=main@0.0") {
+		t.Errorf("formatted output lacks site comment:\n%s", text)
+	}
+	if !strings.Contains(text, "gate(T->U)") {
+		t.Errorf("formatted output lacks gate comment:\n%s", text)
+	}
+}
+
+func TestMultiDestCall(t *testing.T) {
+	src := `
+module m
+func two() {
+entry:
+  ret 1, 2
+}
+func main() {
+entry:
+  a, b = call two()
+  s = add a, b
+  ret s
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, _ := m.Func("main")
+	callIns := main.Entry().Instrs[0]
+	if len(callIns.Dst) != 2 || callIns.Dst[0] != "a" || callIns.Dst[1] != "b" {
+		t.Errorf("multi-dest = %v", callIns.Dst)
+	}
+}

@@ -1,0 +1,112 @@
+package pkir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Format renders a module in canonical pkir text. The output parses back
+// to an equivalent module (annotations included; pass-assigned metadata
+// such as AllocIds and gate marks is rendered as comments).
+func Format(m *ir.Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+	for _, f := range m.Funcs {
+		b.WriteByte('\n')
+		if f.Untrusted {
+			b.WriteString("untrusted ")
+		}
+		if f.Exported {
+			b.WriteString("export ")
+		}
+		fmt.Fprintf(&b, "func %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:\n", blk.Name)
+			for i := range blk.Instrs {
+				b.WriteString("  ")
+				b.WriteString(formatInstr(&blk.Instrs[i]))
+				b.WriteByte('\n')
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func formatInstr(ins *ir.Instr) string {
+	var b strings.Builder
+	if len(ins.Dst) > 0 {
+		b.WriteString(strings.Join(ins.Dst, ", "))
+		b.WriteString(" = ")
+	}
+	switch ins.Op {
+	case ir.OpConst:
+		fmt.Fprintf(&b, "const %s", ins.Args[0])
+	case ir.OpBin:
+		fmt.Fprintf(&b, "%s %s, %s", ins.Bin, ins.Args[0], ins.Args[1])
+	case ir.OpAlloc:
+		fmt.Fprintf(&b, "alloc %s", ins.Args[0])
+	case ir.OpUAlloc:
+		fmt.Fprintf(&b, "ualloc %s", ins.Args[0])
+	case ir.OpSAlloc:
+		fmt.Fprintf(&b, "salloc %s", ins.Args[0])
+	case ir.OpUSAlloc:
+		fmt.Fprintf(&b, "usalloc %s", ins.Args[0])
+	case ir.OpRealloc:
+		fmt.Fprintf(&b, "realloc %s, %s", ins.Args[0], ins.Args[1])
+	case ir.OpFree:
+		fmt.Fprintf(&b, "free %s", ins.Args[0])
+	case ir.OpLoad:
+		fmt.Fprintf(&b, "load %s", ins.Args[0])
+	case ir.OpStore:
+		fmt.Fprintf(&b, "store %s, %s", ins.Args[0], ins.Args[1])
+	case ir.OpLoadB:
+		fmt.Fprintf(&b, "loadb %s", ins.Args[0])
+	case ir.OpStoreB:
+		fmt.Fprintf(&b, "storeb %s, %s", ins.Args[0], ins.Args[1])
+	case ir.OpCall:
+		fmt.Fprintf(&b, "call %s(%s)", ins.Callee, operandList(ins.Args))
+	case ir.OpICall:
+		fmt.Fprintf(&b, "icall %s(%s)", ins.Args[0], operandList(ins.Args[1:]))
+	case ir.OpFuncAddr:
+		fmt.Fprintf(&b, "funcaddr %s", ins.Callee)
+	case ir.OpBr:
+		fmt.Fprintf(&b, "br %s, %s, %s", ins.Args[0], ins.Then, ins.Else)
+	case ir.OpJmp:
+		fmt.Fprintf(&b, "jmp %s", ins.Then)
+	case ir.OpRet:
+		b.WriteString("ret")
+		if len(ins.Args) > 0 {
+			b.WriteByte(' ')
+			b.WriteString(operandList(ins.Args))
+		}
+	case ir.OpPrint:
+		fmt.Fprintf(&b, "print %s", ins.Args[0])
+	case ir.OpNop:
+		b.WriteString("nop")
+	default:
+		fmt.Fprintf(&b, "<%v>", ins.Op)
+	}
+	// Pass-assigned metadata, rendered as trailing comments.
+	var notes []string
+	if ins.Site.Func != "" {
+		notes = append(notes, "site="+ins.Site.String())
+	}
+	if ins.Gate != ir.GateNone {
+		notes = append(notes, ins.Gate.String())
+	}
+	if len(notes) > 0 {
+		fmt.Fprintf(&b, " ; %s", strings.Join(notes, " "))
+	}
+	return b.String()
+}
+
+func operandList(ops []ir.Operand) string {
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, ", ")
+}

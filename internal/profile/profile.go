@@ -1,0 +1,163 @@
+// Package profile holds the artifact PKRU-Safe's dynamic analysis produces:
+// the set of allocation sites whose objects were observed crossing the
+// compartment boundary during profiling runs. The enforcement build
+// consumes a Profile to rewrite exactly those allocation sites to draw from
+// the shared pool MU (§4.3.1).
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AllocID identifies one allocation call site: the paper's tuple of
+// function ID, basic-block ID and call-site ID, which ties a recorded fault
+// back to its origin location in the IR.
+type AllocID struct {
+	Func  string
+	Block uint32
+	Site  uint32
+}
+
+// String renders the id in the canonical "func@block.site" form.
+func (id AllocID) String() string {
+	return fmt.Sprintf("%s@%d.%d", id.Func, id.Block, id.Site)
+}
+
+// ParseAllocID parses the canonical form produced by String.
+func ParseAllocID(s string) (AllocID, error) {
+	at := strings.LastIndexByte(s, '@')
+	if at <= 0 {
+		return AllocID{}, fmt.Errorf("profile: malformed alloc id %q", s)
+	}
+	rest := s[at+1:]
+	dot := strings.IndexByte(rest, '.')
+	if dot < 0 {
+		return AllocID{}, fmt.Errorf("profile: malformed alloc id %q", s)
+	}
+	block, err := strconv.ParseUint(rest[:dot], 10, 32)
+	if err != nil {
+		return AllocID{}, fmt.Errorf("profile: malformed block in %q: %v", s, err)
+	}
+	site, err := strconv.ParseUint(rest[dot+1:], 10, 32)
+	if err != nil {
+		return AllocID{}, fmt.Errorf("profile: malformed site in %q: %v", s, err)
+	}
+	return AllocID{Func: s[:at], Block: uint32(block), Site: uint32(site)}, nil
+}
+
+// Record aggregates what profiling observed for one shared allocation site.
+type Record struct {
+	Faults uint64 `json:"faults"` // cross-compartment accesses observed
+	Bytes  uint64 `json:"bytes"`  // bytes of the objects that faulted
+}
+
+// Profile is the set of allocation sites that must allocate from MU.
+type Profile struct {
+	shared map[AllocID]*Record
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{shared: make(map[AllocID]*Record)}
+}
+
+// Add records a cross-compartment access to an object of the given size
+// allocated at id. The first Add marks the site shared; later Adds only
+// bump counters, matching the paper's "record each AllocId once" with
+// fault counting layered on for diagnostics.
+func (p *Profile) Add(id AllocID, size uint64) {
+	r := p.shared[id]
+	if r == nil {
+		r = &Record{}
+		p.shared[id] = r
+	}
+	r.Faults++
+	r.Bytes += size
+}
+
+// Contains reports whether id was recorded as shared.
+func (p *Profile) Contains(id AllocID) bool {
+	_, ok := p.shared[id]
+	return ok
+}
+
+// Get returns the record for id, if present.
+func (p *Profile) Get(id AllocID) (Record, bool) {
+	r, ok := p.shared[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}
+
+// Len returns the number of shared sites.
+func (p *Profile) Len() int { return len(p.shared) }
+
+// IDs returns the shared sites in deterministic (string) order.
+func (p *Profile) IDs() []AllocID {
+	ids := make([]AllocID, 0, len(p.shared))
+	for id := range p.shared {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	return ids
+}
+
+// Merge folds other's records into p, the operation behind combining
+// profiles from multiple profiling runs (test suites, browsing sessions).
+func (p *Profile) Merge(other *Profile) {
+	for id, r := range other.shared {
+		dst := p.shared[id]
+		if dst == nil {
+			dst = &Record{}
+			p.shared[id] = dst
+		}
+		dst.Faults += r.Faults
+		dst.Bytes += r.Bytes
+	}
+}
+
+// Diff reports the sites present in p but not in other (the profiles'
+// set difference). Together with Merge it supports the paper's workflow
+// of building the deployment profile from many separate profiling runs
+// (test suites, browsing sessions) and auditing what each contributed.
+func (p *Profile) Diff(other *Profile) []AllocID {
+	var out []AllocID
+	for _, id := range p.IDs() {
+		if !other.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MarshalJSON encodes the profile as {"id": record, ...} with canonical
+// string ids, so profiles diff cleanly in version control.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	m := make(map[string]*Record, len(p.shared))
+	for id, r := range p.shared {
+		m[id.String()] = r
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var m map[string]*Record
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	p.shared = make(map[AllocID]*Record, len(m))
+	for s, r := range m {
+		id, err := ParseAllocID(s)
+		if err != nil {
+			return err
+		}
+		p.shared[id] = r
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package profile
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocIDString(t *testing.T) {
+	id := AllocID{Func: "dom::create_node", Block: 3, Site: 7}
+	if got := id.String(); got != "dom::create_node@3.7" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseAllocID(t *testing.T) {
+	cases := []struct {
+		in   string
+		want AllocID
+		ok   bool
+	}{
+		{"f@0.0", AllocID{Func: "f"}, true},
+		{"a::b@12.34", AllocID{Func: "a::b", Block: 12, Site: 34}, true},
+		{"with@at@1.2", AllocID{Func: "with@at", Block: 1, Site: 2}, true}, // last @ wins
+		{"", AllocID{}, false},
+		{"nofunc", AllocID{}, false},
+		{"@1.2", AllocID{}, false},
+		{"f@12", AllocID{}, false},
+		{"f@x.2", AllocID{}, false},
+		{"f@1.y", AllocID{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAllocID(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAllocID(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAllocID(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(fn string, block, site uint32) bool {
+		if fn == "" {
+			fn = "f"
+		}
+		// Newlines and '@' in generated names are fine; last-@ parsing and
+		// exact string round-trip must still hold as long as the name has
+		// no digits-after-@ ambiguity, which String's format prevents.
+		id := AllocID{Func: fn, Block: block, Site: site}
+		got, err := ParseAllocID(id.String())
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAndContains(t *testing.T) {
+	p := New()
+	id := AllocID{Func: "f", Block: 1, Site: 2}
+	if p.Contains(id) {
+		t.Error("empty profile contains id")
+	}
+	p.Add(id, 64)
+	p.Add(id, 64)
+	if !p.Contains(id) {
+		t.Error("profile missing added id")
+	}
+	r, ok := p.Get(id)
+	if !ok || r.Faults != 2 || r.Bytes != 128 {
+		t.Errorf("record = %+v, %v", r, ok)
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	if _, ok := p.Get(AllocID{Func: "other"}); ok {
+		t.Error("Get of absent id succeeded")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	p := New()
+	p.Add(AllocID{Func: "z"}, 1)
+	p.Add(AllocID{Func: "a"}, 1)
+	p.Add(AllocID{Func: "m", Block: 2}, 1)
+	ids := p.IDs()
+	if len(ids) != 3 || ids[0].Func != "a" || ids[2].Func != "z" {
+		t.Errorf("IDs() = %v", ids)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	shared := AllocID{Func: "s"}
+	a.Add(shared, 10)
+	b.Add(shared, 20)
+	b.Add(AllocID{Func: "only-b"}, 5)
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged len = %d", a.Len())
+	}
+	r, _ := a.Get(shared)
+	if r.Faults != 2 || r.Bytes != 30 {
+		t.Errorf("merged record = %+v", r)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := New()
+	p.Add(AllocID{Func: "dom::node", Block: 1, Site: 4}, 96)
+	p.Add(AllocID{Func: "js::bind", Block: 0, Site: 0}, 8)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := New()
+	if err := json.Unmarshal(data, q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len() {
+		t.Fatalf("round trip len %d != %d", q.Len(), p.Len())
+	}
+	for _, id := range p.IDs() {
+		pr, _ := p.Get(id)
+		qr, ok := q.Get(id)
+		if !ok || pr != qr {
+			t.Errorf("record for %v: %+v vs %+v (ok=%v)", id, pr, qr, ok)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadIDs(t *testing.T) {
+	q := New()
+	if err := json.Unmarshal([]byte(`{"notanid":{"faults":1,"bytes":2}}`), q); err == nil {
+		t.Error("malformed id accepted")
+	}
+	if err := json.Unmarshal([]byte(`[1,2]`), q); err == nil {
+		t.Error("wrong JSON shape accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, b := New(), New()
+	both := AllocID{Func: "both"}
+	onlyA := AllocID{Func: "only-a"}
+	a.Add(both, 1)
+	a.Add(onlyA, 1)
+	b.Add(both, 1)
+	b.Add(AllocID{Func: "only-b"}, 1)
+	d := a.Diff(b)
+	if len(d) != 1 || d[0] != onlyA {
+		t.Errorf("Diff = %v", d)
+	}
+	if got := b.Diff(a); len(got) != 1 || got[0].Func != "only-b" {
+		t.Errorf("reverse Diff = %v", got)
+	}
+	if got := a.Diff(a); len(got) != 0 {
+		t.Errorf("self Diff = %v", got)
+	}
+}

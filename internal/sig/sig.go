@@ -1,0 +1,137 @@
+// Package sig simulates the POSIX signal machinery PKRU-Safe's profiler
+// depends on: SIGSEGV delivery with a protection-key error code, SIGTRAP
+// delivery after single-stepping, and sigaction-style handler registration
+// that returns the previously installed handler so handlers can chain.
+//
+// The paper (§4.3.1) notes that applications such as Servo register their
+// own SIGSEGV handlers and discard earlier registrations; PKRU-Safe's
+// runtime therefore keeps a reference to any previously registered handler
+// and falls back to it for faults unrelated to MPK violations. The Table
+// type reproduces exactly that contract.
+package sig
+
+import "fmt"
+
+// Signal is a simulated signal number.
+type Signal uint8
+
+const (
+	// SIGSEGV is raised on an invalid or insufficiently privileged access.
+	SIGSEGV Signal = 11
+	// SIGTRAP is raised after an instruction completes with the trap flag set.
+	SIGTRAP Signal = 5
+)
+
+func (s Signal) String() string {
+	switch s {
+	case SIGSEGV:
+		return "SIGSEGV"
+	case SIGTRAP:
+		return "SIGTRAP"
+	default:
+		return fmt.Sprintf("signal(%d)", uint8(s))
+	}
+}
+
+// Fault codes mirroring the si_code values the kernel reports in siginfo.
+const (
+	// CodeMapErr: the address is not mapped (SEGV_MAPERR).
+	CodeMapErr = 1
+	// CodeAccErr: the mapping forbids the access (SEGV_ACCERR).
+	CodeAccErr = 2
+	// CodePKUErr: a protection-key violation (SEGV_PKUERR).
+	CodePKUErr = 100
+)
+
+// AccessKind describes the data access that raised a fault.
+type AccessKind uint8
+
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+)
+
+func (k AccessKind) String() string {
+	if k == AccessWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Info carries the siginfo-equivalent details delivered to a handler.
+type Info struct {
+	Sig    Signal
+	Code   int32      // CodeMapErr, CodeAccErr or CodePKUErr for SIGSEGV
+	Addr   uint64     // faulting address
+	Access AccessKind // kind of access that faulted
+	PKey   uint8      // protection key of the faulting page (CodePKUErr only)
+}
+
+func (i *Info) String() string {
+	return fmt.Sprintf("%v code=%d addr=%#x access=%v pkey=%d",
+		i.Sig, i.Code, i.Addr, i.Access, i.PKey)
+}
+
+// Context is the mutable thread state a handler may inspect and modify,
+// standing in for the ucontext_t passed to a real signal handler. The
+// profiling fault handler uses it to grant temporary access (SetPKRU) and
+// arm single-stepping (SetTrapFlag).
+type Context interface {
+	PKRU() uint32
+	SetPKRU(uint32)
+	TrapFlag() bool
+	SetTrapFlag(bool)
+}
+
+// Action is a handler's verdict on a delivered signal.
+type Action uint8
+
+const (
+	// Unhandled: this handler does not service the fault; fall through to
+	// the previously registered handler, or crash if there is none.
+	Unhandled Action = iota
+	// Handled: the handler repaired the condition; re-execute the access.
+	Handled
+	// Fatal: abort the program immediately.
+	Fatal
+)
+
+// Handler services a delivered signal.
+type Handler interface {
+	Handle(info *Info, ctx Context) Action
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(info *Info, ctx Context) Action
+
+// Handle calls f.
+func (f HandlerFunc) Handle(info *Info, ctx Context) Action { return f(info, ctx) }
+
+// Table is a per-process signal disposition table. The zero value is ready
+// to use and has no handlers registered. Table is not safe for concurrent
+// mutation; registration is expected at startup, as with real sigaction.
+type Table struct {
+	handlers [32]Handler
+}
+
+// Register installs h for signal s and returns the previously installed
+// handler (which may be nil), mirroring sigaction's oldact out-parameter.
+func (t *Table) Register(s Signal, h Handler) (prev Handler) {
+	prev = t.handlers[s%32]
+	t.handlers[s%32] = h
+	return prev
+}
+
+// Handler returns the currently installed handler for s, or nil.
+func (t *Table) Handler(s Signal) Handler { return t.handlers[s%32] }
+
+// Dispatch delivers a signal to the installed handler. A nil handler or an
+// Unhandled verdict yields Unhandled, which the "hardware" in package vm
+// treats as process death.
+func (t *Table) Dispatch(info *Info, ctx Context) Action {
+	h := t.handlers[info.Sig%32]
+	if h == nil {
+		return Unhandled
+	}
+	return h.Handle(info, ctx)
+}

@@ -1,0 +1,119 @@
+package sig
+
+import "testing"
+
+// fakeCtx is a minimal Context for handler tests.
+type fakeCtx struct {
+	pkru uint32
+	trap bool
+}
+
+func (c *fakeCtx) PKRU() uint32       { return c.pkru }
+func (c *fakeCtx) SetPKRU(v uint32)   { c.pkru = v }
+func (c *fakeCtx) TrapFlag() bool     { return c.trap }
+func (c *fakeCtx) SetTrapFlag(v bool) { c.trap = v }
+
+func TestDispatchNoHandlerIsUnhandled(t *testing.T) {
+	var tbl Table
+	info := &Info{Sig: SIGSEGV, Code: CodeMapErr, Addr: 0x1000}
+	if got := tbl.Dispatch(info, &fakeCtx{}); got != Unhandled {
+		t.Errorf("Dispatch with empty table = %v, want Unhandled", got)
+	}
+}
+
+func TestRegisterReturnsPrevious(t *testing.T) {
+	var tbl Table
+	h1 := HandlerFunc(func(*Info, Context) Action { return Handled })
+	h2 := HandlerFunc(func(*Info, Context) Action { return Fatal })
+
+	if prev := tbl.Register(SIGSEGV, h1); prev != nil {
+		t.Errorf("first Register returned non-nil previous handler")
+	}
+	prev := tbl.Register(SIGSEGV, h2)
+	if prev == nil {
+		t.Fatal("second Register must return the first handler")
+	}
+	if got := prev.Handle(&Info{}, &fakeCtx{}); got != Handled {
+		t.Errorf("previous handler verdict = %v, want Handled", got)
+	}
+	if got := tbl.Dispatch(&Info{Sig: SIGSEGV}, &fakeCtx{}); got != Fatal {
+		t.Errorf("current handler verdict = %v, want Fatal", got)
+	}
+}
+
+// TestHandlerChaining reproduces the PKRU-Safe runtime pattern: the
+// profiling handler keeps a reference to a previously registered handler
+// and falls back to it for non-MPK faults (§4.3.1).
+func TestHandlerChaining(t *testing.T) {
+	var tbl Table
+	var appHandled, profHandled int
+
+	app := HandlerFunc(func(info *Info, _ Context) Action {
+		appHandled++
+		return Handled
+	})
+	tbl.Register(SIGSEGV, app)
+
+	var fallback Handler
+	prof := HandlerFunc(func(info *Info, ctx Context) Action {
+		if info.Code != CodePKUErr {
+			if fallback != nil {
+				return fallback.Handle(info, ctx)
+			}
+			return Unhandled
+		}
+		profHandled++
+		return Handled
+	})
+	fallback = tbl.Register(SIGSEGV, prof)
+
+	if got := tbl.Dispatch(&Info{Sig: SIGSEGV, Code: CodePKUErr}, &fakeCtx{}); got != Handled {
+		t.Errorf("PKU fault verdict = %v, want Handled", got)
+	}
+	if got := tbl.Dispatch(&Info{Sig: SIGSEGV, Code: CodeMapErr}, &fakeCtx{}); got != Handled {
+		t.Errorf("map fault verdict = %v, want Handled (chained)", got)
+	}
+	if profHandled != 1 || appHandled != 1 {
+		t.Errorf("profiler handled %d, app handled %d; want 1 and 1", profHandled, appHandled)
+	}
+}
+
+func TestSignalsAreIndependent(t *testing.T) {
+	var tbl Table
+	segv := HandlerFunc(func(*Info, Context) Action { return Handled })
+	tbl.Register(SIGSEGV, segv)
+	if got := tbl.Dispatch(&Info{Sig: SIGTRAP}, &fakeCtx{}); got != Unhandled {
+		t.Errorf("SIGTRAP dispatch = %v, want Unhandled (only SIGSEGV registered)", got)
+	}
+}
+
+func TestHandlerCanMutateContext(t *testing.T) {
+	var tbl Table
+	tbl.Register(SIGSEGV, HandlerFunc(func(_ *Info, ctx Context) Action {
+		ctx.SetPKRU(0)
+		ctx.SetTrapFlag(true)
+		return Handled
+	}))
+	ctx := &fakeCtx{pkru: 0xffffffff}
+	tbl.Dispatch(&Info{Sig: SIGSEGV, Code: CodePKUErr}, ctx)
+	if ctx.pkru != 0 || !ctx.trap {
+		t.Errorf("handler mutations lost: pkru=%#x trap=%v", ctx.pkru, ctx.trap)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if SIGSEGV.String() != "SIGSEGV" || SIGTRAP.String() != "SIGTRAP" {
+		t.Error("signal names wrong")
+	}
+	if Signal(9).String() != "signal(9)" {
+		t.Errorf("unknown signal formatting = %q", Signal(9).String())
+	}
+	info := &Info{Sig: SIGSEGV, Code: CodePKUErr, Addr: 0x2000, Access: AccessWrite, PKey: 1}
+	want := "SIGSEGV code=100 addr=0x2000 access=write pkey=1"
+	if info.String() != want {
+		t.Errorf("Info.String() = %q, want %q", info.String(), want)
+	}
+	if AccessRead.String() != "read" || AccessWrite.String() != "write" {
+		t.Error("access kind names wrong")
+	}
+}

@@ -1,0 +1,343 @@
+// Package static implements the static-analysis alternative to dynamic
+// profiling that the paper discusses (§4.3, §6): a whole-program,
+// flow-insensitive, context-insensitive taint analysis over the IR that
+// computes which allocation sites *may* flow into the untrusted
+// compartment. Its output is a profile.Profile interchangeable with one
+// recorded dynamically, so the enforcement build can consume either.
+//
+// The analysis is sound by construction — every flow the dynamic profiler
+// can observe is included — at the cost of over-approximation: sites that
+// reach U only on infeasible paths are shared too, exactly the
+// precision/soundness trade-off §6 describes for state-of-the-art pointer
+// analyses. Heap flows are modeled Andersen-style and field-insensitively
+// (one content set per allocation site), indirect calls resolve to every
+// address-taken function, and escape is closed transitively: anything
+// reachable through an escaped pointer escapes.
+package static
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/profile"
+)
+
+// siteSet is a set of allocation-site identifiers.
+type siteSet map[profile.AllocID]struct{}
+
+func (s siteSet) addAll(o siteSet) bool {
+	changed := false
+	for id := range o {
+		if _, ok := s[id]; !ok {
+			s[id] = struct{}{}
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s siteSet) add(id profile.AllocID) bool {
+	if _, ok := s[id]; ok {
+		return false
+	}
+	s[id] = struct{}{}
+	return true
+}
+
+// Stats reports what the analysis did.
+type Stats struct {
+	Iterations   int // fixpoint rounds
+	TotalSites   int // allocation sites in the module
+	EscapedSites int // sites that may reach U
+}
+
+// maxIterations bounds the fixpoint loop; the lattice is finite so this
+// only guards against implementation bugs.
+const maxIterations = 1000
+
+// Analyze computes the sites that may be accessed from the untrusted
+// compartment. The module must have AllocIds assigned and address-taken
+// functions marked (compile.AssignAllocIDs + compile.MarkAddressTaken, or
+// compile.Pipeline).
+func Analyze(m *ir.Module) (*profile.Profile, Stats, error) {
+	a := &analyzer{
+		mod:      m,
+		regs:     make(map[string]map[string]siteSet),
+		contents: make(map[profile.AllocID]siteSet),
+		returns:  make(map[string][]siteSet),
+		escaped:  make(siteSet),
+	}
+	var st Stats
+	missingIDs := false
+	m.AllocSites(func(_ *ir.Func, _ *ir.Block, ins *ir.Instr) {
+		if ins.Op == ir.OpAlloc || ins.Op == ir.OpSAlloc {
+			if ins.Site.Func == "" {
+				missingIDs = true
+			}
+			st.TotalSites++
+		}
+	})
+	if missingIDs {
+		return nil, st, errors.New("static: allocation sites lack AllocIds; run compile.AssignAllocIDs first")
+	}
+	for _, f := range m.Funcs {
+		a.regs[f.Name] = make(map[string]siteSet)
+	}
+	a.addressTaken = addressTaken(m)
+
+	for st.Iterations = 1; st.Iterations <= maxIterations; st.Iterations++ {
+		a.changed = false
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					if err := a.transfer(f, &b.Instrs[i]); err != nil {
+						return nil, st, err
+					}
+				}
+			}
+		}
+		a.closeEscape()
+		if !a.changed {
+			break
+		}
+	}
+	if st.Iterations > maxIterations {
+		return nil, st, errors.New("static: fixpoint did not converge")
+	}
+
+	prof := profile.New()
+	for id := range a.escaped {
+		prof.Add(id, 0)
+	}
+	st.EscapedSites = prof.Len()
+	return prof, st, nil
+}
+
+func addressTaken(m *ir.Module) []*ir.Func {
+	var out []*ir.Func
+	for _, f := range m.Funcs {
+		if f.AddressTaken {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+type analyzer struct {
+	mod          *ir.Module
+	regs         map[string]map[string]siteSet // func -> reg -> sites
+	contents     map[profile.AllocID]siteSet   // heap: site -> sites stored into it
+	returns      map[string][]siteSet          // func -> per-result sites
+	escaped      siteSet
+	addressTaken []*ir.Func
+	changed      bool
+}
+
+func (a *analyzer) reg(fn, name string) siteSet {
+	s := a.regs[fn][name]
+	if s == nil {
+		s = make(siteSet)
+		a.regs[fn][name] = s
+	}
+	return s
+}
+
+// eval returns the site set of an operand (immediates carry no sites).
+func (a *analyzer) eval(fn string, o ir.Operand) siteSet {
+	if o.IsImm {
+		return nil
+	}
+	return a.reg(fn, o.Reg)
+}
+
+func (a *analyzer) flowInto(dst siteSet, src siteSet) {
+	if dst.addAll(src) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) markEscaped(s siteSet) {
+	for id := range s {
+		if a.escaped.add(id) {
+			a.changed = true
+		}
+	}
+}
+
+// closeEscape propagates escape through the heap: the contents of an
+// escaped object are loadable by U and therefore escape too.
+func (a *analyzer) closeEscape() {
+	for {
+		grew := false
+		for id := range a.escaped {
+			for inner := range a.contents[id] {
+				if a.escaped.add(inner) {
+					grew = true
+					a.changed = true
+				}
+			}
+		}
+		if !grew {
+			return
+		}
+	}
+}
+
+func (a *analyzer) transfer(f *ir.Func, ins *ir.Instr) error {
+	fn := f.Name
+	switch ins.Op {
+	case ir.OpConst, ir.OpNop, ir.OpPrint, ir.OpBr, ir.OpJmp, ir.OpFree,
+		ir.OpFuncAddr, ir.OpLoadB:
+		// No site flow. (LoadB yields a byte, which cannot carry a
+		// pointer in this word-oriented IR.)
+		return nil
+
+	case ir.OpBin:
+		// Pointer arithmetic preserves provenance: the result may point
+		// into any operand's objects.
+		dst := a.reg(fn, ins.Dst[0])
+		a.flowInto(dst, a.eval(fn, ins.Args[0]))
+		a.flowInto(dst, a.eval(fn, ins.Args[1]))
+		return nil
+
+	case ir.OpAlloc, ir.OpSAlloc:
+		// Heap sites and §6-prototype stack slots are classified alike.
+		if a.reg(fn, ins.Dst[0]).add(ins.Site) {
+			a.changed = true
+		}
+		return nil
+
+	case ir.OpUAlloc, ir.OpUSAlloc:
+		// Already in MU; nothing to protect, nothing to track.
+		return nil
+
+	case ir.OpRealloc:
+		// Pool- and provenance-preserving: the result aliases the input.
+		a.flowInto(a.reg(fn, ins.Dst[0]), a.eval(fn, ins.Args[0]))
+		return nil
+
+	case ir.OpLoad:
+		dst := a.reg(fn, ins.Dst[0])
+		for id := range a.eval(fn, ins.Args[0]) {
+			if c := a.contents[id]; c != nil {
+				a.flowInto(dst, c)
+			}
+		}
+		return nil
+
+	case ir.OpStore:
+		val := a.eval(fn, ins.Args[1])
+		if len(val) == 0 {
+			return nil
+		}
+		for id := range a.eval(fn, ins.Args[0]) {
+			c := a.contents[id]
+			if c == nil {
+				c = make(siteSet)
+				a.contents[id] = c
+			}
+			a.flowInto(c, val)
+		}
+		return nil
+
+	case ir.OpStoreB:
+		return nil // byte stores cannot embed a pointer in this IR
+
+	case ir.OpCall:
+		callee, ok := a.mod.Func(ins.Callee)
+		if !ok {
+			return fmt.Errorf("static: undefined callee %q", ins.Callee)
+		}
+		a.flowCall(f, callee, ins.Args, ins.Dst)
+		return nil
+
+	case ir.OpICall:
+		// Conservative: every address-taken function is a possible target.
+		for _, callee := range a.addressTaken {
+			a.flowCall(f, callee, ins.Args[1:], ins.Dst)
+		}
+		return nil
+
+	case ir.OpRet:
+		rets := a.returns[fn]
+		for len(rets) < len(ins.Args) {
+			rets = append(rets, make(siteSet))
+		}
+		a.returns[fn] = rets
+		for i, arg := range ins.Args {
+			a.flowInto(rets[i], a.eval(fn, arg))
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("static: unhandled op %v", ins.Op)
+	}
+}
+
+// flowCall propagates argument and return flows for one (possible) call
+// edge, marking escapes at the trust boundary (§3.3's interfaces are the
+// taint sinks).
+func (a *analyzer) flowCall(caller *ir.Func, callee *ir.Func, args []ir.Operand, dst []string) {
+	// Arguments flow into the callee's parameters.
+	for i, p := range callee.Params {
+		if i >= len(args) {
+			break
+		}
+		a.flowInto(a.reg(callee.Name, p), a.eval(caller.Name, args[i]))
+	}
+	// The callee's returns flow into the caller's destinations.
+	rets := a.returns[callee.Name]
+	for i, d := range dst {
+		if i < len(rets) {
+			a.flowInto(a.reg(caller.Name, d), rets[i])
+		}
+	}
+	// Trust-boundary sinks.
+	if !caller.Untrusted && callee.Untrusted {
+		// T passes data into U: every argument escapes.
+		for _, arg := range args {
+			a.markEscaped(a.eval(caller.Name, arg))
+		}
+	}
+	if caller.Untrusted && !callee.Untrusted {
+		// T returns data to a U caller: every result escapes. Arguments
+		// flow U->T and carry no MT sites, so nothing to do for them.
+		for _, r := range a.returns[callee.Name] {
+			a.markEscaped(r)
+		}
+	}
+}
+
+// Delta compares a static result against a dynamically recorded profile.
+type Delta struct {
+	// OverApproximated: shared statically but never observed dynamically
+	// (precision loss, costs heap-partitioning quality).
+	OverApproximated []profile.AllocID
+	// Missed: observed dynamically but not shared statically (a soundness
+	// bug — must be empty for a sound analysis).
+	Missed []profile.AllocID
+}
+
+// Compare computes the static-vs-dynamic delta of §6's discussion.
+func Compare(static, dynamic *profile.Profile) Delta {
+	var d Delta
+	for _, id := range static.IDs() {
+		if !dynamic.Contains(id) {
+			d.OverApproximated = append(d.OverApproximated, id)
+		}
+	}
+	for _, id := range dynamic.IDs() {
+		if !static.Contains(id) {
+			d.Missed = append(d.Missed, id)
+		}
+	}
+	sort.Slice(d.OverApproximated, func(i, j int) bool {
+		return d.OverApproximated[i].String() < d.OverApproximated[j].String()
+	})
+	sort.Slice(d.Missed, func(i, j int) bool {
+		return d.Missed[i].String() < d.Missed[j].String()
+	})
+	return d
+}

@@ -1,0 +1,388 @@
+package static
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/ffi"
+	"repro/internal/interp"
+	"repro/internal/pkir"
+	"repro/internal/profile"
+)
+
+// analyze parses, compiles and statically analyzes src.
+func analyze(t *testing.T, src string) (*profile.Profile, Stats) {
+	t.Helper()
+	m, err := pkir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Pipeline(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	prof, st, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof, st
+}
+
+// dynamicProfile runs src under a Profiling build and returns the
+// recorded profile.
+func dynamicProfile(t *testing.T, src, entry string) *profile.Profile {
+	t.Helper()
+	m, err := pkir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Pipeline(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.NewProgram(ffi.NewRegistry(), core.Profiling, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := interp.New(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Run(entry); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := prog.RecordedProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+const directFlow = `
+module direct
+untrusted export func u_use(p) {
+entry:
+  v = load p
+  ret v
+}
+export func main() {
+entry:
+  shared = alloc 8
+  private = alloc 8
+  store shared, 1
+  store private, 2
+  x = call u_use(shared)
+  ret x
+}
+`
+
+func TestDirectArgumentFlow(t *testing.T) {
+	prof, st := analyze(t, directFlow)
+	shared := profile.AllocID{Func: "main", Block: 0, Site: 0}
+	private := profile.AllocID{Func: "main", Block: 0, Site: 1}
+	if !prof.Contains(shared) {
+		t.Error("shared site not detected")
+	}
+	if prof.Contains(private) {
+		t.Error("private site wrongly shared")
+	}
+	if st.TotalSites != 2 || st.EscapedSites != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestHeapIndirection: an object reachable through the field of a shared
+// object escapes too (the "objects reachable through the fields of
+// aggregate types" case of §3.4).
+func TestHeapIndirection(t *testing.T) {
+	src := `
+module indirect
+untrusted export func u_deep(box) {
+entry:
+  inner = load box
+  v = load inner
+  ret v
+}
+export func main() {
+entry:
+  box = alloc 8
+  inner = alloc 8
+  hidden = alloc 8
+  store inner, 42
+  store box, inner
+  x = call u_deep(box)
+  ret x
+}
+`
+	prof, _ := analyze(t, src)
+	box := profile.AllocID{Func: "main", Block: 0, Site: 0}
+	inner := profile.AllocID{Func: "main", Block: 0, Site: 1}
+	hidden := profile.AllocID{Func: "main", Block: 0, Site: 2}
+	if !prof.Contains(box) || !prof.Contains(inner) {
+		t.Errorf("escape not closed through heap: %v", prof.IDs())
+	}
+	if prof.Contains(hidden) {
+		t.Error("unrelated site shared")
+	}
+	// Dynamic agrees here (all paths executed).
+	dyn := dynamicProfile(t, src, "main")
+	d := Compare(prof, dyn)
+	if len(d.Missed) != 0 {
+		t.Errorf("soundness violation: %v", d.Missed)
+	}
+}
+
+// TestReturnFlowToUntrusted: a trusted callback returning a pointer to a
+// U caller shares the pointee.
+func TestReturnFlowToUntrusted(t *testing.T) {
+	src := `
+module retflow
+export func make_buf() {
+entry:
+  b = alloc 16
+  ret b
+}
+untrusted export func u_run(fp) {
+entry:
+  buf = icall fp()
+  v = load buf
+  ret v
+}
+export func main() {
+entry:
+  fp = funcaddr make_buf
+  x = call u_run(fp)
+  ret x
+}
+`
+	prof, _ := analyze(t, src)
+	if !prof.Contains(profile.AllocID{Func: "make_buf", Block: 0, Site: 0}) {
+		t.Errorf("callback return flow missed: %v", prof.IDs())
+	}
+	dyn := dynamicProfile(t, src, "main")
+	if d := Compare(prof, dyn); len(d.Missed) != 0 {
+		t.Errorf("soundness violation: %v", d.Missed)
+	}
+}
+
+// TestOverApproximationOnDeadPath: the static analysis shares a site that
+// only flows to U on a branch never taken at run time — §6's precision
+// trade-off — while the dynamic profile stays empty.
+func TestOverApproximationOnDeadPath(t *testing.T) {
+	src := `
+module dead
+untrusted export func u_use(p) {
+entry:
+  v = load p
+  ret v
+}
+export func main() {
+entry:
+  buf = alloc 8
+  cond = const 0
+  br cond, taken, skip
+taken:
+  x = call u_use(buf)
+  jmp skip
+skip:
+  v = load buf
+  ret v
+}
+`
+	static, _ := analyze(t, src)
+	dyn := dynamicProfile(t, src, "main")
+	site := profile.AllocID{Func: "main", Block: 0, Site: 0}
+	if !static.Contains(site) {
+		t.Error("flow-insensitive analysis must include the dead-path flow")
+	}
+	if dyn.Contains(site) {
+		t.Error("dynamic profile should not observe the dead path")
+	}
+	d := Compare(static, dyn)
+	if len(d.OverApproximated) != 1 || len(d.Missed) != 0 {
+		t.Errorf("delta = %+v", d)
+	}
+}
+
+// TestPointerArithmeticPreservesProvenance: a derived pointer (base +
+// offset) passed to U shares the base object.
+func TestPointerArithmeticPreservesProvenance(t *testing.T) {
+	src := `
+module arith
+untrusted export func u_poke(p) {
+entry:
+  store p, 7
+  ret
+}
+export func main() {
+entry:
+  arr = alloc 64
+  mid = add arr, 32
+  call u_poke(mid)
+  v = load arr
+  ret v
+}
+`
+	prof, _ := analyze(t, src)
+	if !prof.Contains(profile.AllocID{Func: "main", Block: 0, Site: 0}) {
+		t.Errorf("interior-pointer flow missed: %v", prof.IDs())
+	}
+}
+
+// TestStoreIntoEscapedObjectLater: writing a private pointer into an
+// already-escaped object shares the pointee (fixpoint ordering).
+func TestStoreIntoEscapedObjectLater(t *testing.T) {
+	src := `
+module late
+untrusted export func u_keep(p) {
+entry:
+  ret
+}
+export func main() {
+entry:
+  box = alloc 8
+  call u_keep(box)
+  late = alloc 8
+  store box, late
+  ret
+}
+`
+	prof, _ := analyze(t, src)
+	late := profile.AllocID{Func: "main", Block: 0, Site: 1}
+	if !prof.Contains(late) {
+		t.Errorf("late store into escaped object missed: %v", prof.IDs())
+	}
+}
+
+// TestUallocNotTracked: explicit untrusted allocations are already in MU
+// and never appear in the profile.
+func TestUallocNotTracked(t *testing.T) {
+	src := `
+module u
+untrusted export func u_use(p) {
+entry:
+  v = load p
+  ret v
+}
+export func main() {
+entry:
+  b = ualloc 8
+  x = call u_use(b)
+  ret x
+}
+`
+	prof, st := analyze(t, src)
+	if prof.Len() != 0 {
+		t.Errorf("ualloc tracked: %v", prof.IDs())
+	}
+	if st.TotalSites != 0 {
+		t.Errorf("ualloc counted as a trusted site: %+v", st)
+	}
+}
+
+// TestStaticProfileDrivesEnforcement: the static profile can be consumed
+// by the enforcement build exactly like a dynamic one, and the program
+// runs clean under MPK.
+func TestStaticProfileDrivesEnforcement(t *testing.T) {
+	m, err := pkir.Parse(directFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Pipeline(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := compile.ApplyProfile(m, prof)
+	if n != 1 {
+		t.Fatalf("rewrote %d sites, want 1", n)
+	}
+	prog, err := core.NewProgram(ffi.NewRegistry(), core.MPK, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := interp.New(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run("main")
+	if err != nil {
+		t.Fatalf("statically instrumented run crashed: %v", err)
+	}
+	if res[0] != 1 {
+		t.Errorf("result = %d", res[0])
+	}
+}
+
+// TestSoundnessAcrossCorpus: on every corpus program, the dynamic profile
+// is a subset of the static one.
+func TestSoundnessAcrossCorpus(t *testing.T) {
+	corpus := []string{directFlow, `
+module chain
+untrusted export func u(p) {
+entry:
+  v = load p
+  ret v
+}
+func helper(q) {
+entry:
+  r = call u(q)
+  ret r
+}
+export func main() {
+entry:
+  a = alloc 8
+  store a, 5
+  x = call helper(a)
+  ret x
+}
+`}
+	for i, src := range corpus {
+		static, _ := analyze(t, src)
+		dyn := dynamicProfile(t, src, "main")
+		if d := Compare(static, dyn); len(d.Missed) != 0 {
+			t.Errorf("program %d: soundness violation: %v", i, d.Missed)
+		}
+	}
+}
+
+func TestAnalyzeRequiresAllocIDs(t *testing.T) {
+	m, err := pkir.Parse(directFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No pipeline: sites lack ids.
+	if _, _, err := Analyze(m); err == nil {
+		t.Error("analysis accepted module without AllocIds")
+	}
+}
+
+// TestICallMayTargetUntrusted: an indirect call from T whose possible
+// targets include an untrusted function taints the arguments — the
+// conservative icall resolution the analysis documents.
+func TestICallMayTargetUntrusted(t *testing.T) {
+	src := `
+module icallu
+untrusted export func u_sink(p) {
+entry:
+  v = load p
+  ret v
+}
+export func main() {
+entry:
+  fp = funcaddr u_sink
+  buf = alloc 8
+  r = icall fp(buf)
+  ret r
+}
+`
+	prof, _ := analyze(t, src)
+	if !prof.Contains(profile.AllocID{Func: "main", Block: 0, Site: 0}) {
+		t.Errorf("icall-to-untrusted flow missed: %v", prof.IDs())
+	}
+	dyn := dynamicProfile(t, src, "main")
+	if d := Compare(prof, dyn); len(d.Missed) != 0 {
+		t.Errorf("soundness violation: %v", d.Missed)
+	}
+}

@@ -1,0 +1,137 @@
+// Package trace provides a lightweight event ring for the PKRU-Safe
+// runtime: call-gate traversals, protection-key faults and single-step
+// resumes are recorded into a fixed-size buffer that can be dumped when a
+// program dies on an MPK violation — the first question after a crash in
+// an enforced build is always "which boundary crossing and which access
+// got us here" (§6 treats such crashes as missed-profile bugs to debug).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// GateEnter: a call gate installed new rights (A = PKRU installed).
+	GateEnter Kind = iota
+	// GateExit: a call gate restored saved rights (A = PKRU restored).
+	GateExit
+	// Fault: a protection-key violation was delivered (A = address,
+	// B = pkey).
+	Fault
+	// Resume: the profiler single-stepped past a fault and restored
+	// rights (A = address).
+	Resume
+	// Record: the profiler attributed a fault to an allocation site
+	// (A = object base, Note = AllocId).
+	Record
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GateEnter:
+		return "gate-enter"
+	case GateExit:
+		return "gate-exit"
+	case Fault:
+		return "fault"
+	case Resume:
+		return "resume"
+	case Record:
+		return "record"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one runtime occurrence. A and B are kind-specific payloads
+// (addresses, PKRU values, keys); Note carries an identifier when one
+// exists.
+type Event struct {
+	Seq  uint64
+	Kind Kind
+	A, B uint64
+	Note string
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case GateEnter, GateExit:
+		return fmt.Sprintf("#%d %-10s pkru=%#08x", e.Seq, e.Kind, e.A)
+	case Fault:
+		return fmt.Sprintf("#%d %-10s addr=%#x pkey=%d", e.Seq, e.Kind, e.A, e.B)
+	case Record:
+		return fmt.Sprintf("#%d %-10s base=%#x site=%s", e.Seq, e.Kind, e.A, e.Note)
+	default:
+		return fmt.Sprintf("#%d %-10s addr=%#x", e.Seq, e.Kind, e.A)
+	}
+}
+
+// Ring is a fixed-capacity, thread-safe event buffer that overwrites its
+// oldest entries. The zero value is unusable; construct with NewRing.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted
+}
+
+// NewRing creates a ring holding the last n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit appends an event, stamping its sequence number.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	e.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever emitted.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	out := make([]Event, 0, n)
+	start := uint64(0)
+	if r.next > n {
+		start = r.next - n
+	}
+	for s := start; s < r.next; s++ {
+		out = append(out, r.buf[s%n])
+	}
+	return out
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Snapshot() {
+		fmt.Fprintln(w, e.String())
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: GateEnter, A: uint64(i)})
+	}
+	if r.Total() != 5 || r.Len() != 3 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, e := range snap {
+		if e.A != uint64(i+2) || e.Seq != uint64(i+2) {
+			t.Errorf("event %d = %+v, want A=Seq=%d", i, e, i+2)
+		}
+	}
+}
+
+func TestRingUnderfilled(t *testing.T) {
+	r := NewRing(10)
+	r.Emit(Event{Kind: Fault, A: 0x1000, B: 1})
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != Fault {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestRingMinCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Emit(Event{Kind: Resume})
+	if r.Len() != 1 {
+		t.Error("zero-capacity ring unusable")
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Kind: GateEnter, A: 0xc})
+	r.Emit(Event{Kind: Fault, A: 0x2000, B: 1})
+	r.Emit(Event{Kind: Record, A: 0x2000, Note: "main@0.0"})
+	r.Emit(Event{Kind: Resume, A: 0x2000})
+	r.Emit(Event{Kind: GateExit, A: 0})
+	var b strings.Builder
+	r.Dump(&b)
+	out := b.String()
+	for _, want := range []string{"gate-enter", "fault", "addr=0x2000", "pkey=1", "site=main@0.0", "resume", "gate-exit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Emit(Event{Kind: GateEnter, A: uint64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Errorf("total = %d", r.Total())
+	}
+	// Sequence numbers in a snapshot are strictly increasing.
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("non-monotone seq at %d: %d then %d", i, snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}

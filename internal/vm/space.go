@@ -1,0 +1,282 @@
+// Package vm simulates the virtual-memory substrate PKRU-Safe runs on: a
+// paged 48-bit address space whose pages carry MPK protection keys, regions
+// reserved up front with on-demand paging (the mmap idiom pkalloc uses to
+// reserve the trusted heap), and per-thread CPU contexts whose PKRU register
+// gates every load and store.
+//
+// Faults are delivered through a simulated signal table (package sig),
+// allowing the PKRU-Safe profiling runtime to interpose on SIGSEGV, record
+// the faulting allocation, single-step the access, and resume — exactly the
+// loop described in §4.3.2 of the paper.
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mpk"
+)
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+const (
+	// PageShift is log2 of the page size.
+	PageShift = 12
+	// PageSize is the size of a virtual-memory page (4 KiB).
+	PageSize = 1 << PageShift
+	// PageMask masks the offset-within-page bits of an address.
+	PageMask = PageSize - 1
+	// AddrBits is the width of the simulated virtual address space.
+	AddrBits = 48
+	// MaxAddr is the first address beyond the simulated address space.
+	MaxAddr Addr = 1 << AddrBits
+)
+
+// PageBase returns the base address of the page containing a.
+func (a Addr) PageBase() Addr { return a &^ PageMask }
+
+// PageIndex returns the virtual page number containing a.
+func (a Addr) PageIndex() uint64 { return uint64(a) >> PageShift }
+
+func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }
+
+// page is one resident 4 KiB page.
+type page struct {
+	data []byte // allocated on first touch
+	pkey mpk.Key
+}
+
+// Region is a contiguous reservation of address space, the analogue of an
+// anonymous mmap. Pages inside a region become resident on first touch and
+// inherit the region's protection key; this gives reservation of the whole
+// trusted heap "virtually no cost if those pages are never used" (§4.4).
+type Region struct {
+	Name string
+	Base Addr
+	Size uint64
+	PKey mpk.Key
+}
+
+// End returns the first address past the region.
+func (r *Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Contains reports whether a falls inside the region.
+func (r *Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Space is a simulated address space: a sparse page table plus the set of
+// reserved regions. A Space may be shared by many threads; page-table
+// operations are internally synchronized.
+type Space struct {
+	mu      sync.RWMutex
+	pages   map[uint64]*page // virtual page number -> resident page
+	regions []*Region        // sorted by Base, non-overlapping
+}
+
+// NewSpace returns an empty address space with no reservations.
+func NewSpace() *Space {
+	return &Space{pages: make(map[uint64]*page)}
+}
+
+// Reserve registers a region of address space with the given protection
+// key. Base and size must be page-aligned, non-empty, in range, and the
+// region must not overlap an existing reservation.
+func (s *Space) Reserve(name string, base Addr, size uint64, key mpk.Key) (*Region, error) {
+	if base&PageMask != 0 || size&PageMask != 0 {
+		return nil, fmt.Errorf("vm: reserve %q: base %v / size %#x not page-aligned", name, base, size)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("vm: reserve %q: empty region", name)
+	}
+	if base >= MaxAddr || uint64(base)+size > uint64(MaxAddr) {
+		return nil, fmt.Errorf("vm: reserve %q: [%v, %#x) outside %d-bit address space", name, base, uint64(base)+size, AddrBits)
+	}
+	if !key.Valid() {
+		return nil, fmt.Errorf("vm: reserve %q: invalid protection key %d", name, key)
+	}
+	r := &Region{Name: name, Base: base, Size: size, PKey: key}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range s.regions {
+		if base < o.End() && o.Base < r.End() {
+			return nil, fmt.Errorf("vm: reserve %q: overlaps region %q [%v, %v)", name, o.Name, o.Base, o.End())
+		}
+	}
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].Base > base })
+	s.regions = append(s.regions, nil)
+	copy(s.regions[i+1:], s.regions[i:])
+	s.regions[i] = r
+	return r, nil
+}
+
+// RegionAt returns the region containing a, or nil if a is unreserved.
+func (s *Space) RegionAt(a Addr) *Region {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.regionAtLocked(a)
+}
+
+func (s *Space) regionAtLocked(a Addr) *Region {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > a })
+	if i < len(s.regions) && s.regions[i].Contains(a) {
+		return s.regions[i]
+	}
+	return nil
+}
+
+// Regions returns a snapshot of the reserved regions in address order.
+func (s *Space) Regions() []*Region {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Region, len(s.regions))
+	copy(out, s.regions)
+	return out
+}
+
+// pageAt returns the resident page covering a, materializing it if a falls
+// inside a reserved region. It returns nil if a is unmapped.
+func (s *Space) pageAt(a Addr) *page {
+	vpn := a.PageIndex()
+	s.mu.RLock()
+	p := s.pages[vpn]
+	s.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p = s.pages[vpn]; p != nil { // lost a race; someone else faulted it in
+		return p
+	}
+	r := s.regionAtLocked(a)
+	if r == nil {
+		return nil
+	}
+	p = &page{data: make([]byte, PageSize), pkey: r.PKey}
+	s.pages[vpn] = p
+	return p
+}
+
+// SetPKey retags [base, base+size) with a new protection key, the analogue
+// of pkey_mprotect. The range must be page-aligned and fully reserved. Both
+// resident pages and the backing regions are retagged, so pages touched
+// later inherit the new key; a region partially covered by the range is
+// split so the retag applies exactly to [base, base+size).
+func (s *Space) SetPKey(base Addr, size uint64, key mpk.Key) error {
+	if base&PageMask != 0 || size&PageMask != 0 {
+		return fmt.Errorf("vm: pkey_mprotect: range [%v, %#x) not page-aligned", base, uint64(base)+size)
+	}
+	if !key.Valid() {
+		return fmt.Errorf("vm: pkey_mprotect: invalid protection key %d", key)
+	}
+	end := base + Addr(size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Verify the whole range is reserved before mutating anything.
+	for a := base; a < end; {
+		r := s.regionAtLocked(a)
+		if r == nil {
+			return fmt.Errorf("vm: pkey_mprotect: %v not reserved", a)
+		}
+		a = r.End()
+	}
+	var added []*Region
+	for _, r := range s.regions {
+		if end <= r.Base || r.End() <= base {
+			continue
+		}
+		lo, hi := r.Base, r.End()
+		if base > lo {
+			added = append(added, &Region{Name: r.Name, Base: lo, Size: uint64(base - lo), PKey: r.PKey})
+			lo = base
+		}
+		if end < hi {
+			added = append(added, &Region{Name: r.Name, Base: end, Size: uint64(hi - end), PKey: r.PKey})
+			hi = end
+		}
+		r.Base, r.Size, r.PKey = lo, uint64(hi-lo), key
+	}
+	s.regions = append(s.regions, added...)
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
+	for vpn, p := range s.pages {
+		a := Addr(vpn) << PageShift
+		if a >= base && a < end {
+			p.pkey = key
+		}
+	}
+	return nil
+}
+
+// PKeyAt returns the protection key governing address a and whether a is
+// reserved at all.
+func (s *Space) PKeyAt(a Addr) (mpk.Key, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if p := s.pages[a.PageIndex()]; p != nil {
+		return p.pkey, true
+	}
+	if r := s.regionAtLocked(a); r != nil {
+		return r.PKey, true
+	}
+	return 0, false
+}
+
+// ResidentPages returns the number of pages that have been touched and are
+// therefore backed by committed memory.
+func (s *Space) ResidentPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// ResidentBytes returns ResidentPages expressed in bytes.
+func (s *Space) ResidentBytes() uint64 { return uint64(s.ResidentPages()) * PageSize }
+
+// Peek copies len(buf) bytes from the address space into buf without any
+// protection-key check. It stands in for accesses made by the trusted
+// runtime itself (the profiler's metadata lookups, test assertions); it
+// still requires the range to be reserved.
+func (s *Space) Peek(a Addr, buf []byte) error {
+	return s.rawAccess(a, buf, false)
+}
+
+// Poke copies buf into the address space without any protection-key check.
+func (s *Space) Poke(a Addr, buf []byte) error {
+	return s.rawAccess(a, buf, true)
+}
+
+func (s *Space) rawAccess(a Addr, buf []byte, write bool) error {
+	for off := 0; off < len(buf); {
+		p := s.pageAt(a + Addr(off))
+		if p == nil {
+			return fmt.Errorf("vm: raw %s at unmapped address %v", accessName(write), a+Addr(off))
+		}
+		po := int(uint64(a+Addr(off)) & PageMask)
+		n := copyChunk(p, po, buf[off:], write)
+		off += n
+	}
+	return nil
+}
+
+func accessName(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// copyChunk moves bytes between buf and one page starting at page offset po,
+// returning the number of bytes moved.
+func copyChunk(p *page, po int, buf []byte, write bool) int {
+	n := PageSize - po
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if write {
+		copy(p.data[po:po+n], buf[:n])
+	} else {
+		copy(buf[:n], p.data[po:po+n])
+	}
+	return n
+}

@@ -1,0 +1,230 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mpk"
+	"repro/internal/sig"
+)
+
+// Fault is the error produced when a data access cannot be completed and no
+// signal handler repairs the condition — the simulated equivalent of the
+// process dying on an unhandled SIGSEGV.
+type Fault struct {
+	Info sig.Info // the siginfo that was (or would have been) delivered
+	PKRU mpk.PKRU // thread rights at the time of the fault
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("vm: unhandled %s (pkru=%#08x)", f.Info.String(), uint32(f.PKRU))
+}
+
+// Stats counts the memory events a thread has performed. All fields are
+// monotone counters.
+type Stats struct {
+	Loads     uint64 // completed load accesses
+	Stores    uint64 // completed store accesses
+	PKUFaults uint64 // SIGSEGV deliveries with SEGV_PKUERR
+	MapFaults uint64 // SIGSEGV deliveries with SEGV_MAPERR
+	Traps     uint64 // SIGTRAP deliveries (single-step completions)
+	WRPKRU    uint64 // writes to the PKRU register
+}
+
+// Thread is a simulated CPU context: the PKRU register, the trap flag used
+// for single-stepping, and the signal table faults are delivered through.
+// A Thread is owned by one goroutine at a time; its counters may be read
+// concurrently.
+type Thread struct {
+	space *Space
+	sigs  *sig.Table
+
+	pkru atomic.Uint32
+	trap atomic.Bool
+
+	loads     atomic.Uint64
+	stores    atomic.Uint64
+	pkuFaults atomic.Uint64
+	mapFaults atomic.Uint64
+	traps     atomic.Uint64
+	wrpkru    atomic.Uint64
+}
+
+// NewThread creates a thread on the given address space. The signal table
+// may be shared between threads (process-wide dispositions) and may be nil,
+// in which case every fault is fatal. The initial PKRU permits everything.
+func NewThread(space *Space, sigs *sig.Table) *Thread {
+	if sigs == nil {
+		sigs = new(sig.Table)
+	}
+	return &Thread{space: space, sigs: sigs}
+}
+
+// Space returns the address space the thread executes against.
+func (t *Thread) Space() *Space { return t.space }
+
+// Signals returns the thread's signal table.
+func (t *Thread) Signals() *sig.Table { return t.sigs }
+
+// PKRU returns the current rights register as a raw 32-bit value,
+// implementing sig.Context (and RDPKRU).
+func (t *Thread) PKRU() uint32 { return t.pkru.Load() }
+
+// SetPKRU writes the rights register (WRPKRU), implementing sig.Context.
+func (t *Thread) SetPKRU(v uint32) {
+	t.pkru.Store(v)
+	t.wrpkru.Add(1)
+}
+
+// Rights returns the rights register as an mpk.PKRU value.
+func (t *Thread) Rights() mpk.PKRU { return mpk.PKRU(t.pkru.Load()) }
+
+// SetRights writes the rights register from an mpk.PKRU value.
+func (t *Thread) SetRights(p mpk.PKRU) { t.SetPKRU(uint32(p)) }
+
+// TrapFlag reports whether the single-step trap flag is set, implementing
+// sig.Context.
+func (t *Thread) TrapFlag() bool { return t.trap.Load() }
+
+// SetTrapFlag arms or disarms single-stepping, implementing sig.Context.
+func (t *Thread) SetTrapFlag(v bool) { t.trap.Store(v) }
+
+// Stats returns a snapshot of the thread's event counters.
+func (t *Thread) Stats() Stats {
+	return Stats{
+		Loads:     t.loads.Load(),
+		Stores:    t.stores.Load(),
+		PKUFaults: t.pkuFaults.Load(),
+		MapFaults: t.mapFaults.Load(),
+		Traps:     t.traps.Load(),
+		WRPKRU:    t.wrpkru.Load(),
+	}
+}
+
+// maxFaultRetries bounds how many times a single access may fault and be
+// repaired by a handler before the access is abandoned as fatal; it guards
+// against a handler that claims to fix a fault without actually changing
+// the rights.
+const maxFaultRetries = 8
+
+// access performs one checked data access of len(buf) bytes at addr,
+// faulting per page exactly as the MMU would.
+func (t *Thread) access(addr Addr, buf []byte, kind sig.AccessKind) error {
+	for off := 0; off < len(buf); {
+		a := addr + Addr(off)
+		p, err := t.checkPage(a, kind)
+		if err != nil {
+			return err
+		}
+		po := int(uint64(a) & PageMask)
+		off += copyChunk(p, po, buf[off:], kind == sig.AccessWrite)
+	}
+	if kind == sig.AccessWrite {
+		t.stores.Add(1)
+	} else {
+		t.loads.Add(1)
+	}
+	// Single-step: with the trap flag armed, raise SIGTRAP once the access
+	// retires so the profiler can restore the pre-fault rights (§4.3.2).
+	if t.trap.Load() {
+		t.traps.Add(1)
+		info := &sig.Info{Sig: sig.SIGTRAP, Addr: uint64(addr), Access: kind}
+		if t.sigs.Dispatch(info, t) == sig.Unhandled {
+			t.trap.Store(false)
+			return &Fault{Info: *info, PKRU: t.Rights()}
+		}
+	}
+	return nil
+}
+
+// checkPage resolves the page for a, delivering SIGSEGV and retrying while
+// a handler repairs the condition.
+func (t *Thread) checkPage(a Addr, kind sig.AccessKind) (*page, error) {
+	for try := 0; ; try++ {
+		p := t.space.pageAt(a)
+		var info sig.Info
+		switch {
+		case p == nil:
+			info = sig.Info{Sig: sig.SIGSEGV, Code: sig.CodeMapErr, Addr: uint64(a), Access: kind}
+			t.mapFaults.Add(1)
+		case !t.allowed(p.pkey, kind):
+			info = sig.Info{Sig: sig.SIGSEGV, Code: sig.CodePKUErr, Addr: uint64(a), Access: kind, PKey: uint8(p.pkey)}
+			t.pkuFaults.Add(1)
+		default:
+			return p, nil
+		}
+		if try >= maxFaultRetries {
+			return nil, &Fault{Info: info, PKRU: t.Rights()}
+		}
+		switch t.sigs.Dispatch(&info, t) {
+		case sig.Handled:
+			continue // handler repaired the state; re-execute the access
+		default:
+			return nil, &Fault{Info: info, PKRU: t.Rights()}
+		}
+	}
+}
+
+func (t *Thread) allowed(key mpk.Key, kind sig.AccessKind) bool {
+	r := mpk.PKRU(t.pkru.Load()).Rights(key)
+	if kind == sig.AccessWrite {
+		return r.CanWrite()
+	}
+	return r.CanRead()
+}
+
+// Read copies len(buf) bytes from addr into buf under PKRU checking.
+func (t *Thread) Read(addr Addr, buf []byte) error {
+	return t.access(addr, buf, sig.AccessRead)
+}
+
+// Write copies buf to addr under PKRU checking.
+func (t *Thread) Write(addr Addr, buf []byte) error {
+	return t.access(addr, buf, sig.AccessWrite)
+}
+
+// Load8 reads one byte at addr.
+func (t *Thread) Load8(addr Addr) (byte, error) {
+	var b [1]byte
+	err := t.access(addr, b[:], sig.AccessRead)
+	return b[0], err
+}
+
+// Store8 writes one byte at addr.
+func (t *Thread) Store8(addr Addr, v byte) error {
+	b := [1]byte{v}
+	return t.access(addr, b[:], sig.AccessWrite)
+}
+
+// Load32 reads a little-endian uint32 at addr.
+func (t *Thread) Load32(addr Addr) (uint32, error) {
+	var b [4]byte
+	if err := t.access(addr, b[:], sig.AccessRead); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// Store32 writes a little-endian uint32 at addr.
+func (t *Thread) Store32(addr Addr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return t.access(addr, b[:], sig.AccessWrite)
+}
+
+// Load64 reads a little-endian uint64 at addr.
+func (t *Thread) Load64(addr Addr) (uint64, error) {
+	var b [8]byte
+	if err := t.access(addr, b[:], sig.AccessRead); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Store64 writes a little-endian uint64 at addr.
+func (t *Thread) Store64(addr Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return t.access(addr, b[:], sig.AccessWrite)
+}

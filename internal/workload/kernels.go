@@ -1,0 +1,597 @@
+// Package workload defines the benchmark suites of the paper's
+// evaluation (§5.2, §5.3): the call-gate micro-benchmarks and
+// browser-suite workloads shaped like Dromaeo, Kraken, Octane and
+// JetStream2. The absolute work done differs from the original suites —
+// they run on a simulated machine — but each workload preserves the
+// property the paper's analysis keys on: its ratio of compartment
+// transitions to work done between transitions.
+//
+// Compute kernels run entirely inside the untrusted JS engine (few
+// transitions, like Kraken/Octane), while DOM and jslib workloads call
+// browser bindings in tight loops (many transitions, like Dromaeo's dom
+// and jslib sub-suites).
+package workload
+
+import "fmt"
+
+// Each kernel is a script defining `function bench(n)`; the harness calls
+// bench repeatedly through the engine's invoke path.
+
+// kernelFFT: radix-2-style butterfly passes over float arrays.
+func kernelFFT(size int) string {
+	return fmt.Sprintf(`
+var re = new Array(%d);
+var im = new Array(%d);
+function bench(n) {
+	var N = re.length;
+	for (var i = 0; i < N; i++) { re[i] = sin(i * 0.1); im[i] = 0; }
+	var acc = 0;
+	for (var it = 0; it < n; it++) {
+		for (var len = 2; len <= N; len *= 2) {
+			var ang = 6.283185307179586 / len;
+			for (var s = 0; s < N; s += len) {
+				for (var k = 0; k < len / 2; k++) {
+					var wr = cos(ang * k);
+					var wi = sin(ang * k);
+					var i0 = s + k; var i1 = s + k + len / 2;
+					var tr = wr * re[i1] - wi * im[i1];
+					var ti = wr * im[i1] + wi * re[i1];
+					re[i1] = re[i0] - tr; im[i1] = im[i0] - ti;
+					re[i0] = re[i0] + tr; im[i0] = im[i0] + ti;
+				}
+			}
+		}
+		acc += re[1];
+	}
+	return acc;
+}`, size, size)
+}
+
+// kernelCryptoMix: SHA-256-shaped integer mixing rounds.
+func kernelCryptoMix(words, rounds int) string {
+	return fmt.Sprintf(`
+var w = new IntArray(%d);
+function bench(n) {
+	var W = w.length;
+	for (var i = 0; i < W; i++) w[i] = i * 2654435761;
+	var h = 0x6a09;
+	for (var it = 0; it < n; it++) {
+		for (var r = 0; r < %d; r++) {
+			for (var i = 0; i < W; i++) {
+				var x = w[i];
+				var s0 = ((x >> 7) ^ (x >> 18) ^ (x >> 3)) & 0xffffffff;
+				var s1 = ((x >> 17) ^ (x >> 19) ^ (x >> 10)) & 0xffffffff;
+				w[i] = (x + s0 + s1 + h) & 0xffffffff;
+				h = (h ^ w[i]) & 0xffffffff;
+			}
+		}
+	}
+	return h;
+}`, words, rounds)
+}
+
+// kernelAES: table-lookup substitution + xor rounds over byte blocks.
+func kernelAES(blocks int) string {
+	return fmt.Sprintf(`
+var sbox = new IntArray(256);
+var state = new IntArray(%d);
+function bench(n) {
+	for (var i = 0; i < 256; i++) sbox[i] = (i * 167 + 19) %% 256;
+	var B = state.length;
+	for (var i = 0; i < B; i++) state[i] = i %% 256;
+	var key = 0x5a;
+	for (var it = 0; it < n; it++) {
+		for (var r = 0; r < 10; r++) {
+			for (var i = 0; i < B; i++) {
+				state[i] = sbox[(state[i] ^ key) & 0xff];
+			}
+			key = (key * 3 + r) & 0xff;
+		}
+	}
+	return state[0];
+}`, blocks)
+}
+
+// kernelPBKDF2: repeated HMAC-shaped mixing with a rotating salt.
+func kernelPBKDF2(iters int) string {
+	return fmt.Sprintf(`
+var block = new IntArray(16);
+function bench(n) {
+	var out = 0;
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < 16; i++) block[i] = i + it;
+		for (var k = 0; k < %d; k++) {
+			for (var i = 0; i < 16; i++) {
+				var x = block[i] ^ (k * 0x9e37);
+				x = (x << 5 | x >> 27) & 0xffffffff;
+				block[i] = (x + block[(i + 1) %% 16]) & 0xffffffff;
+			}
+		}
+		out ^= block[0];
+	}
+	return out;
+}`, iters)
+}
+
+// kernelBlur: 1D gaussian-style convolution over a float image row.
+func kernelBlur(width int) string {
+	return fmt.Sprintf(`
+var img = new Array(%d);
+var out = new Array(%d);
+function bench(n) {
+	var W = img.length;
+	for (var i = 0; i < W; i++) img[i] = (i * 7) %% 255;
+	for (var it = 0; it < n; it++) {
+		for (var i = 2; i < W - 2; i++) {
+			out[i] = img[i-2] * 0.06 + img[i-1] * 0.24 + img[i] * 0.4 +
+			         img[i+1] * 0.24 + img[i+2] * 0.06;
+		}
+		for (var i = 2; i < W - 2; i++) img[i] = out[i];
+	}
+	return img[10];
+}`, width, width)
+}
+
+// kernelDesaturate: per-pixel channel averaging over packed RGB ints.
+func kernelDesaturate(pixels int) string {
+	return fmt.Sprintf(`
+var px = new IntArray(%d);
+function bench(n) {
+	var P = px.length;
+	for (var i = 0; i < P; i++) px[i] = (i * 2654435761) & 0xffffff;
+	var sum = 0;
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < P; i++) {
+			var v = px[i];
+			var r = (v >> 16) & 0xff; var g = (v >> 8) & 0xff; var b = v & 0xff;
+			var gray = floor((r + g + b) / 3);
+			px[i] = (gray << 16) | (gray << 8) | gray;
+		}
+		sum += px[0];
+	}
+	return sum;
+}`, pixels)
+}
+
+// kernelDarkroom: gamma/levels floating-point per-pixel math.
+func kernelDarkroom(pixels int) string {
+	return fmt.Sprintf(`
+var img = new Array(%d);
+function bench(n) {
+	var P = img.length;
+	for (var i = 0; i < P; i++) img[i] = (i %% 256) / 255;
+	var acc = 0;
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < P; i++) {
+			var v = img[i];
+			v = pow(v, 0.8) * 1.1 - 0.02;
+			if (v < 0) v = 0;
+			if (v > 1) v = 1;
+			img[i] = v;
+		}
+		acc += img[5];
+	}
+	return acc;
+}`, pixels)
+}
+
+// kernelAStar: greedy best-first search over a weighted grid.
+func kernelAStar(dim int) string {
+	return fmt.Sprintf(`
+var D = %d;
+var cost = new IntArray(D * D);
+var dist = new IntArray(D * D);
+function bench(n) {
+	for (var i = 0; i < D * D; i++) cost[i] = 1 + ((i * 31) %% 7);
+	var total = 0;
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < D * D; i++) dist[i] = 1000000;
+		dist[0] = 0;
+		// Dynamic-programming sweep (A*-shaped relaxation over the grid).
+		for (var pass = 0; pass < 2; pass++) {
+			for (var y = 0; y < D; y++) {
+				for (var x = 0; x < D; x++) {
+					var i = y * D + x;
+					var d = dist[i];
+					if (x > 0 && dist[i-1] + cost[i] < d) d = dist[i-1] + cost[i];
+					if (y > 0 && dist[i-D] + cost[i] < d) d = dist[i-D] + cost[i];
+					dist[i] = d;
+				}
+			}
+		}
+		total += dist[D * D - 1];
+	}
+	return total;
+}`, dim)
+}
+
+// kernelJSONParse: scanning a synthetic JSON-ish string into numbers.
+func kernelJSONParse(records int) string {
+	return fmt.Sprintf(`
+var doc = "";
+function buildDoc() {
+	doc = "[";
+	for (var i = 0; i < %d; i++) {
+		doc = doc + "{\"id\":" + i + ",\"price\":" + (i * 3 %% 97) + "}";
+		if (i < %d - 1) doc = doc + ",";
+	}
+	doc = doc + "]";
+}
+function bench(n) {
+	if (doc.length == 0) buildDoc();
+	var total = 0;
+	for (var it = 0; it < n; it++) {
+		var sum = 0;
+		var i = 0;
+		while (i < doc.length) {
+			var c = doc.charCodeAt(i);
+			if (c >= 48 && c <= 57) {
+				var v = 0;
+				while (i < doc.length && doc.charCodeAt(i) >= 48 && doc.charCodeAt(i) <= 57) {
+					v = v * 10 + (doc.charCodeAt(i) - 48);
+					i++;
+				}
+				sum += v;
+			} else {
+				i++;
+			}
+		}
+		total += sum;
+	}
+	return total;
+}`, records, records)
+}
+
+// kernelJSONStringify: building a JSON-ish string from arrays.
+func kernelJSONStringify(records int) string {
+	return fmt.Sprintf(`
+var ids = new IntArray(%d);
+function bench(n) {
+	var R = ids.length;
+	for (var i = 0; i < R; i++) ids[i] = i * 17;
+	var len = 0;
+	for (var it = 0; it < n; it++) {
+		var s = "[";
+		for (var i = 0; i < R; i++) {
+			s = s + "{\"v\":" + ids[i] + "}";
+		}
+		s = s + "]";
+		len += s.length;
+	}
+	return len;
+}`, records)
+}
+
+// kernelNBody: gravitational n-body velocity updates.
+func kernelNBody(bodies int) string {
+	return fmt.Sprintf(`
+var B = %d;
+var px = new Array(B); var py = new Array(B);
+var vx = new Array(B); var vy = new Array(B);
+function bench(n) {
+	for (var i = 0; i < B; i++) { px[i] = i; py[i] = i * 0.5; vx[i] = 0; vy[i] = 0; }
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < B; i++) {
+			var ax = 0; var ay = 0;
+			for (var j = 0; j < B; j++) {
+				if (i == j) continue;
+				var dx = px[j] - px[i]; var dy = py[j] - py[i];
+				var d2 = dx * dx + dy * dy + 0.1;
+				var inv = 1 / (d2 * sqrt(d2));
+				ax += dx * inv; ay += dy * inv;
+			}
+			vx[i] += ax * 0.01; vy[i] += ay * 0.01;
+		}
+		for (var i = 0; i < B; i++) { px[i] += vx[i] * 0.01; py[i] += vy[i] * 0.01; }
+	}
+	return px[0] + py[B - 1];
+}`, bodies)
+}
+
+// kernelSplay: binary search tree with root rotations, in index arrays.
+func kernelSplay(nodes int) string {
+	return fmt.Sprintf(`
+var CAP = %d;
+var key = new IntArray(CAP);
+var left = new IntArray(CAP);
+var right = new IntArray(CAP);
+var size = 0; var root = 0;
+function insert(k) {
+	if (size >= CAP) return 0;
+	key[size] = k; left[size] = 0; right[size] = 0;
+	size++;
+	if (size == 1) { root = 0; return 0; }
+	var cur = root;
+	while (true) {
+		if (k < key[cur]) {
+			if (left[cur] == 0 && cur != 0) { left[cur] = size - 1; break; }
+			if (left[cur] == 0) { left[cur] = size - 1; break; }
+			cur = left[cur];
+		} else {
+			if (right[cur] == 0) { right[cur] = size - 1; break; }
+			cur = right[cur];
+		}
+	}
+	return size - 1;
+}
+function find(k) {
+	var cur = root; var steps = 0;
+	while (cur != 0 || steps == 0) {
+		if (key[cur] == k) return steps;
+		cur = k < key[cur] ? left[cur] : right[cur];
+		steps++;
+		if (steps > 64) break;
+	}
+	return steps;
+}
+function bench(n) {
+	var total = 0;
+	for (var it = 0; it < n; it++) {
+		size = 0; root = 0;
+		var seed = 12345;
+		for (var i = 0; i < CAP - 1; i++) {
+			seed = nextSeed(seed);
+			insert(seed %% 100000);
+		}
+		for (var i = 0; i < 200; i++) total += find(i * 371);
+	}
+	return total;
+}`, nodes)
+}
+
+// kernelRichards: a task-queue scheduler simulation.
+func kernelRichards(tasks int) string {
+	return fmt.Sprintf(`
+var T = %d;
+var state = new IntArray(T);
+var workq = new IntArray(T);
+var done = new IntArray(T);
+function bench(n) {
+	var total = 0;
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < T; i++) { state[i] = i %% 3; workq[i] = (i * 7) %% T; done[i] = 0; }
+		var active = T;
+		var guard = 0;
+		while (active > 0 && guard < T * 50) {
+			guard++;
+			for (var i = 0; i < T; i++) {
+				if (done[i]) continue;
+				if (state[i] == 0) { state[i] = 1; }
+				else if (state[i] == 1) { workq[i] = (workq[i] * 3 + 1) %% T; state[i] = 2; }
+				else { done[i] = 1; active--; total++; }
+			}
+		}
+	}
+	return total;
+}`, tasks)
+}
+
+// kernelDeltaBlue: chains of one-way constraints propagated to fixpoint.
+func kernelDeltaBlue(vars int) string {
+	return fmt.Sprintf(`
+var V = %d;
+var val = new IntArray(V);
+var srcOf = new IntArray(V);
+function bench(n) {
+	var total = 0;
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < V; i++) { val[i] = 0; srcOf[i] = i == 0 ? 0 : i - 1; }
+		val[0] = it + 1;
+		// Propagate the chain until stable.
+		for (var pass = 0; pass < 3; pass++) {
+			var changed = 0;
+			for (var i = 1; i < V; i++) {
+				var want = val[srcOf[i]] + 1;
+				if (val[i] != want) { val[i] = want; changed++; }
+			}
+			if (changed == 0) break;
+		}
+		total += val[V - 1];
+	}
+	return total;
+}`, vars)
+}
+
+// kernelRayTrace: sphere-intersection inner loops.
+func kernelRayTrace(rays int) string {
+	return fmt.Sprintf(`
+var R = %d;
+function bench(n) {
+	var hits = 0;
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < R; i++) {
+			var ox = (i %% 32) * 0.1 - 1.6;
+			var oy = floor(i / 32) * 0.1 - 1.6;
+			// Ray from (ox, oy, -5) toward +z against a unit sphere at origin.
+			var b = -5 * -1;
+			var c = ox * ox + oy * oy + 25 - 1;
+			var disc = b * b - c;
+			if (disc > 0) {
+				var t = b - sqrt(disc);
+				hits += t > 0 ? 1 : 0;
+			}
+		}
+	}
+	return hits;
+}`, rays)
+}
+
+// kernelRegex: hand-rolled pattern scanning over generated text.
+func kernelRegex(textLen int) string {
+	return fmt.Sprintf(`
+var text = "";
+function buildText() {
+	var seed = 99;
+	for (var i = 0; i < %d; i++) {
+		seed = nextSeed(seed);
+		var r = seed %% 26;
+		text = text + fromCharCode(97 + r);
+	}
+}
+function bench(n) {
+	if (text.length == 0) buildText();
+	var matches = 0;
+	for (var it = 0; it < n; it++) {
+		// Count occurrences of the pattern [aeiou][bcd]
+		for (var i = 0; i + 1 < text.length; i++) {
+			var a = text.charCodeAt(i);
+			var b = text.charCodeAt(i + 1);
+			var isV = a == 97 || a == 101 || a == 105 || a == 111 || a == 117;
+			var isC = b >= 98 && b <= 100;
+			if (isV && isC) matches++;
+		}
+	}
+	return matches;
+}`, textLen)
+}
+
+// kernelZlib: run-length encode/decode cycles over int data.
+func kernelZlib(size int) string {
+	return fmt.Sprintf(`
+var data = new IntArray(%d);
+var enc = new IntArray(%d * 2);
+function bench(n) {
+	var S = data.length;
+	for (var i = 0; i < S; i++) data[i] = floor(i / 9) %% 17;
+	var total = 0;
+	for (var it = 0; it < n; it++) {
+		// encode
+		var o = 0;
+		var i = 0;
+		while (i < S) {
+			var v = data[i]; var run = 1;
+			while (i + run < S && data[i + run] == v && run < 255) run++;
+			enc[o] = v; enc[o + 1] = run; o += 2;
+			i += run;
+		}
+		// decode and checksum
+		var sum = 0;
+		for (var k = 0; k < o; k += 2) sum += enc[k] * enc[k + 1];
+		total += sum;
+	}
+	return total;
+}`, size, size)
+}
+
+// kernelGameboy: a tiny bytecode machine executing a looped program.
+func kernelGameboy(progLen int) string {
+	return fmt.Sprintf(`
+var prog = new IntArray(%d);
+var mem = new IntArray(256);
+function bench(n) {
+	var P = prog.length;
+	for (var i = 0; i < P; i++) prog[i] = (i * 11) %% 5;
+	var acc = 0;
+	for (var it = 0; it < n; it++) {
+		var pc = 0; var a = it; var steps = 0;
+		while (steps < P * 8) {
+			var op = prog[pc];
+			if (op == 0) a = (a + 1) & 0xffff;
+			else if (op == 1) a = (a << 1) & 0xffff;
+			else if (op == 2) mem[a & 0xff] = a;
+			else if (op == 3) a = (a ^ mem[(a + 1) & 0xff]) & 0xffff;
+			else a = (a - 1) & 0xffff;
+			pc = (pc + 1) %% P;
+			steps++;
+		}
+		acc += a;
+	}
+	return acc;
+}`, progLen)
+}
+
+// kernelFloatMM: dense matrix multiply.
+func kernelFloatMM(dim int) string {
+	return fmt.Sprintf(`
+var D = %d;
+var A = new Array(D * D);
+var B = new Array(D * D);
+var C = new Array(D * D);
+function bench(n) {
+	for (var i = 0; i < D * D; i++) { A[i] = i * 0.5; B[i] = (D * D - i) * 0.25; }
+	var acc = 0;
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < D; i++) {
+			for (var j = 0; j < D; j++) {
+				var s = 0;
+				for (var k = 0; k < D; k++) s += A[i * D + k] * B[k * D + j];
+				C[i * D + j] = s;
+			}
+		}
+		acc += C[0];
+	}
+	return acc;
+}`, dim)
+}
+
+// kernelHashMap: open-addressing hash table churn.
+func kernelHashMap(capacity int) string {
+	return fmt.Sprintf(`
+var CAP = %d;
+var keys = new IntArray(CAP);
+var vals = new IntArray(CAP);
+function bench(n) {
+	var total = 0;
+	for (var it = 0; it < n; it++) {
+		for (var i = 0; i < CAP; i++) { keys[i] = 0; vals[i] = 0; }
+		for (var i = 1; i < CAP - CAP / 4; i++) {
+			var k = (i * 2654435761) & 0x7fffffff;
+			var slot = k %% CAP;
+			while (keys[slot] != 0) slot = (slot + 1) %% CAP;
+			keys[slot] = k; vals[slot] = i;
+		}
+		for (var i = 1; i < CAP - CAP / 4; i += 3) {
+			var k = (i * 2654435761) & 0x7fffffff;
+			var slot = k %% CAP;
+			while (keys[slot] != 0 && keys[slot] != k) slot = (slot + 1) %% CAP;
+			total += vals[slot];
+		}
+	}
+	return total;
+}`, capacity)
+}
+
+// kernelObjects: property-table churn over engine objects (records with
+// named fields, the shape many Dromaeo JS tests exercise).
+func kernelObjects(records int) string {
+	return fmt.Sprintf(`
+var R = %d;
+function bench(n) {
+	var total = 0;
+	for (var it = 0; it < n; it++) {
+		var sum = {count: 0, weight: 0};
+		for (var i = 0; i < R; i++) {
+			var rec = {id: i, price: (i * 7) %% 97, qty: (i %% 5) + 1};
+			rec.total = rec.price * rec.qty;
+			sum.count += 1;
+			sum.weight += rec.total;
+		}
+		total += sum.weight;
+	}
+	return total;
+}`, records)
+}
+
+// kernelStringUnpack: splitting and reassembling delimited strings.
+func kernelStringUnpack(fields int) string {
+	return fmt.Sprintf(`
+var packed = "";
+function buildPacked() {
+	for (var i = 0; i < %d; i++) packed = packed + "field" + i + ";";
+}
+function bench(n) {
+	if (packed.length == 0) buildPacked();
+	var total = 0;
+	for (var it = 0; it < n; it++) {
+		var start = 0; var count = 0;
+		for (var i = 0; i < packed.length; i++) {
+			if (packed.charCodeAt(i) == 59) {
+				count += i - start;
+				start = i + 1;
+			}
+		}
+		total += count;
+	}
+	return total;
+}`, fields)
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/ffi"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// Micro-benchmark workloads (§5.2): each workload exists in a trusted and
+// an untrusted library with identical bodies; the untrusted copies run
+// behind call gates and the trusted copies do not, so the ratio of their
+// timings is exactly the call-gate overhead the paper reports.
+const (
+	MicroTrustedLib   = "micro_trusted"
+	MicroUntrustedLib = "micro_untrusted"
+)
+
+// MicroWorld is a built program with both micro libraries registered.
+type MicroWorld struct {
+	Prog *core.Program
+	// Shared is an MU buffer the Read-One workload reads.
+	Shared vm.Addr
+}
+
+// NewMicroWorld builds the mpk-configuration program the paper measures
+// call gates in.
+func NewMicroWorld() (*MicroWorld, error) {
+	reg := ffi.NewRegistry()
+	defineMicroFuncs(reg)
+	prog, err := core.NewProgram(reg, core.MPK, profile.New())
+	if err != nil {
+		return nil, err
+	}
+	shared, err := prog.Allocator().UntrustedAlloc(64)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Main().VM.Store64(shared, 0x5eed); err != nil {
+		return nil, err
+	}
+	return &MicroWorld{Prog: prog, Shared: shared}, nil
+}
+
+// defineMicroFuncs registers identical workload bodies in a trusted and
+// an untrusted library, plus the trusted callback target.
+func defineMicroFuncs(reg *ffi.Registry) {
+	tl := reg.MustLibrary(MicroTrustedLib, ffi.Trusted)
+	ul := reg.MustLibrary(MicroUntrustedLib, ffi.Untrusted)
+
+	// cb_target is the exported trusted function the Callback workload
+	// re-enters T through.
+	tl.Define("cb_target", func(_ *ffi.Thread, _ []uint64) ([]uint64, error) {
+		return nil, nil
+	})
+
+	for _, lib := range []*ffi.Library{tl, ul} {
+		// Empty: no body — pure per-call overhead.
+		lib.Define("empty", func(_ *ffi.Thread, _ []uint64) ([]uint64, error) {
+			return nil, nil
+		})
+		// Read-One: a single heap read.
+		lib.Define("read_one", func(th *ffi.Thread, args []uint64) ([]uint64, error) {
+			v, err := th.Load64(vm.Addr(args[0]))
+			return []uint64{v}, err
+		})
+		// Callback: re-enter the trusted compartment once.
+		lib.Define("callback", func(th *ffi.Thread, _ []uint64) ([]uint64, error) {
+			return th.Call(MicroTrustedLib, "cb_target")
+		})
+		// Work: a controllable arithmetic loop between transitions — the
+		// Figure 3 workload. The accumulator is returned so the loop
+		// cannot be optimized away.
+		lib.Define("work", func(_ *ffi.Thread, args []uint64) ([]uint64, error) {
+			loops := args[0]
+			acc := uint64(1)
+			for i := uint64(0); i < loops; i++ {
+				acc = acc*6364136223846793005 + 1442695040888963407
+				acc ^= acc >> 17
+			}
+			return []uint64{acc}, nil
+		})
+	}
+}

@@ -1,0 +1,359 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind selects how the harness drives a benchmark.
+type Kind uint8
+
+const (
+	// Invoke: Setup defines bench(n); the harness calls it repeatedly
+	// through the engine's cheap invoke path.
+	Invoke Kind = iota
+	// Parse: the harness evaluates Blob from scratch each iteration
+	// (code-load-style benchmarks dominated by parse cost).
+	Parse
+)
+
+// Benchmark is one evaluation workload.
+type Benchmark struct {
+	Suite string // "dromaeo", "kraken", "octane", "jetstream2"
+	Sub   string // Dromaeo sub-suite ("dom", "v8", "dromaeo", "sunspider", "jslib")
+	Name  string
+	Kind  Kind
+	HTML  string  // page loaded before the script (may be empty)
+	Setup string  // script defining bench(n) and its state
+	Blob  string  // Parse-kind payload
+	N     float64 // argument passed to bench
+	Iters int     // invocations per measurement
+}
+
+// HarnessPage is the standing document every benchmark runs against: the
+// DOM workloads operate on it directly, and for compute workloads it is
+// the test-harness page whose per-frame housekeeping keeps the browser
+// allocating private data during the run.
+const HarnessPage = benchPage
+
+// benchPage is the standing document the DOM workloads operate on.
+const benchPage = `
+<body id="body">
+	<div id="main" class="container wide">
+		<ul id="list">
+			<li class="item">alpha</li><li class="item">beta</li>
+			<li class="item">gamma</li><li class="item">delta</li>
+		</ul>
+		<div id="content" class="content">seed text</div>
+		<p id="para" class="p1" title="tip">paragraph body text</p>
+	</div>
+</body>`
+
+// --- DOM workloads: binding calls in tight loops (transition-heavy) ---
+
+func domAttr() string {
+	return `
+var para = byId("para");
+function bench(n) {
+	var acc = 0;
+	for (var i = 0; i < n; i++) {
+		setAttr(para, "title", "tip" + (i % 10));
+		acc += getAttr(para, "title").length;
+		acc += getAttr(para, "class").length;
+	}
+	return acc;
+}`
+}
+
+func domModify() string {
+	return `
+var content = byId("content");
+function bench(n) {
+	for (var i = 0; i < n; i++) {
+		var d = createElement("div");
+		appendChild(content, d);
+		setText(d, "node " + i);
+	}
+	var c = childCount(content);
+	removeChildren(content);
+	return c;
+}`
+}
+
+func domQuery() string {
+	return `
+function bench(n) {
+	var acc = 0;
+	for (var i = 0; i < n; i++) {
+		acc += byId("para");
+		acc += byId("list");
+		var items = queryTag("li");
+		acc += items.length;
+	}
+	return acc;
+}`
+}
+
+func domTraverse() string {
+	return `
+function bench(n) {
+	var acc = 0;
+	for (var i = 0; i < n; i++) {
+		var items = queryTag("li");
+		for (var j = 0; j < items.length; j++) {
+			acc += getText(items[j]).length;
+			acc += childCount(items[j]);
+		}
+	}
+	return acc;
+}`
+}
+
+func domHTML() string {
+	return `
+var content = byId("content");
+function bench(n) {
+	for (var i = 0; i < n; i++) {
+		setInnerHTML(content, "<span>a</span><span>b</span><em>c</em>");
+	}
+	return childCount(content);
+}`
+}
+
+// --- jslib workloads: jQuery-shaped chained DOM operations ---
+
+func jslibStyle() string {
+	return `
+function bench(n) {
+	var acc = 0;
+	for (var i = 0; i < n; i++) {
+		var items = queryTag("li");
+		for (var j = 0; j < items.length; j++) {
+			setAttr(items[j], "class", (i + j) % 2 ? "item odd" : "item even");
+			acc += getAttr(items[j], "class").length;
+		}
+	}
+	return acc;
+}`
+}
+
+func jslibText() string {
+	return `
+function bench(n) {
+	var acc = 0;
+	for (var i = 0; i < n; i++) {
+		var items = queryTag("li");
+		for (var j = 0; j < items.length; j++) {
+			var t = getText(items[j]);
+			setText(items[j], t.substr(0, 5));
+			acc += t.length;
+		}
+	}
+	return acc;
+}`
+}
+
+func jslibBuild() string {
+	return `
+var main = byId("main");
+function bench(n) {
+	for (var i = 0; i < n; i++) {
+		var w = createElement("div");
+		appendChild(main, w);
+		setAttr(w, "class", "widget");
+		setInnerHTML(w, "<span>w</span>");
+		reflow();
+	}
+	var c = childCount(main);
+	removeChildren(main);
+	return c;
+}`
+}
+
+// Dromaeo returns the Dromaeo suite across its five sub-suites (Table 2
+// and Figure 4): dom and jslib transition-heavy, v8/dromaeo/sunspider
+// compute-bound inside the engine.
+func Dromaeo() []Benchmark {
+	mk := func(sub, name, setup, html string, n float64, iters int) Benchmark {
+		return Benchmark{Suite: "dromaeo", Sub: sub, Name: name, Setup: setup, HTML: html, N: n, Iters: iters}
+	}
+	return []Benchmark{
+		// dom: the transition-dense sub-suite.
+		mk("dom", "dom-attr", domAttr(), benchPage, 60, 4),
+		mk("dom", "dom-modify", domModify(), benchPage, 50, 4),
+		mk("dom", "dom-query", domQuery(), benchPage, 80, 4),
+		mk("dom", "dom-traverse", domTraverse(), benchPage, 30, 4),
+		mk("dom", "dom-html", domHTML(), benchPage, 30, 4),
+		// v8-shaped compute.
+		mk("v8", "v8-richards", kernelRichards(64), "", 4, 4),
+		mk("v8", "v8-deltablue", kernelDeltaBlue(256), "", 20, 4),
+		mk("v8", "v8-crypto", kernelCryptoMix(64, 4), "", 6, 4),
+		mk("v8", "v8-raytrace", kernelRayTrace(1024), "", 6, 4),
+		// dromaeo's own JS tests.
+		mk("dromaeo", "js-array", kernelHashMap(512), "", 3, 4),
+		mk("dromaeo", "js-string", kernelStringUnpack(128), "", 8, 4),
+		mk("dromaeo", "js-regex", kernelRegex(2000), "", 6, 4),
+		mk("dromaeo", "js-objects", kernelObjects(96), "", 4, 4),
+		// sunspider-shaped compute.
+		mk("sunspider", "ss-3d-mm", kernelFloatMM(20), "", 4, 4),
+		mk("sunspider", "ss-bitops", kernelCryptoMix(48, 3), "", 8, 4),
+		mk("sunspider", "ss-math", kernelNBody(48), "", 8, 4),
+		// jslib: transition-heavy library operations.
+		mk("jslib", "jslib-style", jslibStyle(), benchPage, 40, 4),
+		mk("jslib", "jslib-text", jslibText(), benchPage, 40, 4),
+		mk("jslib", "jslib-build", jslibBuild(), benchPage, 25, 4),
+	}
+}
+
+// Kraken returns the 14 Kraken benchmarks (Figure 5): pure compute
+// kernels inside the engine.
+func Kraken() []Benchmark {
+	mk := func(name, setup string, n float64) Benchmark {
+		return Benchmark{Suite: "kraken", Name: name, Setup: setup, N: n, Iters: 3}
+	}
+	return []Benchmark{
+		mk("audio-fft", kernelFFT(128), 4),
+		mk("stanford-crypto-pbkdf2", kernelPBKDF2(60), 8),
+		mk("audio-beat-detection", kernelBlur(4096), 5),
+		mk("stanford-crypto-ccm", kernelAES(512), 5),
+		mk("imaging-darkroom", kernelDarkroom(4096), 5),
+		mk("json-parse-financial", kernelJSONParse(160), 4),
+		mk("imaging-gaussian-blur", kernelBlur(8192), 4),
+		mk("ai-astar", kernelAStar(40), 5),
+		mk("audio-dft", kernelFFT(64), 8),
+		mk("stanford-crypto-sha256-iterative", kernelCryptoMix(64, 6), 6),
+		mk("json-stringify-tinderbox", kernelJSONStringify(200), 4),
+		mk("audio-oscillator", kernelNBody(64), 6),
+		mk("stanford-crypto-aes", kernelAES(1024), 4),
+		mk("imaging-desaturate", kernelDesaturate(8192), 4),
+	}
+}
+
+// Octane returns the 17 Octane benchmarks (Figure 6).
+func Octane() []Benchmark {
+	mk := func(name, setup string, n float64) Benchmark {
+		return Benchmark{Suite: "octane", Name: name, Setup: setup, N: n, Iters: 3}
+	}
+	out := []Benchmark{
+		mk("Mandreel", kernelGameboy(192), 4),
+		mk("MandreelLatency", kernelGameboy(48), 12),
+		mk("DeltaBlue", kernelDeltaBlue(512), 20),
+		mk("NavierStokes", kernelFloatMM(24), 4),
+		mk("EarleyBoyer", kernelSplay(512), 3),
+		mk("SplayLatency", kernelSplay(128), 10),
+		mk("Crypto", kernelCryptoMix(96, 5), 5),
+		mk("Splay", kernelSplay(384), 4),
+		mk("Gameboy", kernelGameboy(256), 4),
+		mk("Typescript", kernelRegex(3000), 5),
+		mk("Box2D", kernelNBody(72), 6),
+		mk("Richards", kernelRichards(96), 4),
+		mk("RegExp", kernelRegex(2500), 5),
+		mk("PdfJS", kernelJSONParse(200), 4),
+		mk("zlib", kernelZlib(4096), 4),
+		mk("RayTrace", kernelRayTrace(2048), 4),
+	}
+	// CodeLoad: parse-dominated, evaluated from scratch per iteration.
+	out = append(out, Benchmark{
+		Suite: "octane", Name: "CodeLoad", Kind: Parse,
+		Blob: codeLoadBlob(40), Iters: 4,
+	})
+	return out
+}
+
+// codeLoadBlob generates a large script whose cost is parsing, not running.
+func codeLoadBlob(funcs int) string {
+	var b strings.Builder
+	for i := 0; i < funcs; i++ {
+		fmt.Fprintf(&b, "function gen%d(a, b) { var x = a * %d + b; var y = x - a; if (y > b) { y = y + %d; } else { y = y - 1; } return x + y; }\n", i, i+1, i)
+	}
+	fmt.Fprintf(&b, "var total = 0; for (var i = 0; i < %d; i++) total += gen0(i, i+1);\ntotal;", funcs)
+	return b.String()
+}
+
+// JetStream2 returns the JetStream2 list (Figure 7, Table 3): the suite's
+// 64 benchmarks minus the 5 WASM tests the paper disabled, i.e. the 59
+// shown in the figure. Names follow the paper's figure; each maps to a
+// kernel with its own parameters.
+func JetStream2() []Benchmark {
+	type spec struct {
+		name  string
+		setup string
+		n     float64
+	}
+	specs := []spec{
+		{"WSL", kernelRegex(1500), 4},
+		{"UniPoker", kernelHashMap(256), 4},
+		{"uglify-js-wtb", kernelStringUnpack(160), 5},
+		{"typescript", kernelRegex(2200), 4},
+		{"tagcloud-SP", kernelJSONParse(120), 4},
+		{"string-unpack-code-SP", kernelStringUnpack(200), 4},
+		{"stanford-crypto-sha256", kernelCryptoMix(64, 5), 5},
+		{"stanford-crypto-pbkdf2", kernelPBKDF2(50), 6},
+		{"stanford-crypto-aes", kernelAES(768), 4},
+		{"splay", kernelSplay(320), 4},
+		{"segmentation", kernelBlur(6144), 4},
+		{"richards", kernelRichards(80), 4},
+		{"regexp", kernelRegex(2600), 4},
+		{"regex-dna-SP", kernelRegex(3200), 3},
+		{"raytrace", kernelRayTrace(1536), 4},
+		{"prepack-wtb", kernelJSONStringify(150), 4},
+		{"pdfjs", kernelJSONParse(180), 4},
+		{"OfflineAssembler", kernelGameboy(160), 4},
+		{"octane-zlib", kernelZlib(3072), 4},
+		{"octane-code-load", kernelStringUnpack(240), 4},
+		{"navier-stokes", kernelFloatMM(22), 4},
+		{"n-body-SP", kernelNBody(56), 6},
+		{"multi-inspector-code-load", kernelJSONParse(140), 4},
+		{"ML", kernelFloatMM(18), 6},
+		{"mandreel", kernelGameboy(224), 4},
+		{"lebab-wtb", kernelStringUnpack(180), 4},
+		{"json-stringify-inspector", kernelJSONStringify(170), 4},
+		{"json-parse-inspector", kernelJSONParse(170), 4},
+		{"jshint-wtb", kernelRegex(2000), 4},
+		{"hash-map", kernelHashMap(640), 3},
+		{"gbemu", kernelGameboy(288), 3},
+		{"gaussian-blur", kernelBlur(7168), 4},
+		{"float-mm.c", kernelFloatMM(26), 3},
+		{"FlightPlanner", kernelAStar(36), 4},
+		{"first-inspector-code-load", kernelJSONParse(100), 5},
+		{"espree-wtb", kernelRegex(1800), 4},
+		{"earley-boyer", kernelSplay(448), 3},
+		{"delta-blue", kernelDeltaBlue(384), 16},
+		{"date-format-xparb-SP", kernelStringUnpack(140), 5},
+		{"date-format-tofte-SP", kernelStringUnpack(120), 5},
+		{"crypto-sha1-SP", kernelCryptoMix(48, 4), 6},
+		{"crypto-md5-SP", kernelCryptoMix(40, 4), 6},
+		{"crypto-aes-SP", kernelAES(640), 4},
+		{"crypto", kernelCryptoMix(80, 5), 4},
+		{"coffeescript-wtb", kernelRegex(1600), 4},
+		{"chai-wtb", kernelHashMap(384), 4},
+		{"cdjs", kernelAStar(32), 4},
+		{"Box2D", kernelNBody(64), 5},
+		{"bomb-workers", kernelZlib(2048), 4},
+		{"Basic", kernelGameboy(128), 5},
+		{"base64-SP", kernelDesaturate(6144), 4},
+		{"babylon-wtb", kernelJSONParse(150), 4},
+		{"Babylon", kernelJSONParse(130), 4},
+		{"async-fs", kernelHashMap(320), 4},
+		{"Air", kernelRichards(72), 4},
+		{"ai-astar", kernelAStar(38), 4},
+		{"acorn-wtb", kernelRegex(1700), 4},
+		{"3d-raytrace-SP", kernelRayTrace(1280), 4},
+		{"3d-cube-SP", kernelFloatMM(16), 6},
+	}
+	out := make([]Benchmark, 0, len(specs)+1)
+	for _, s := range specs {
+		out = append(out, Benchmark{Suite: "jetstream2", Name: s.name, Setup: s.setup, N: s.n, Iters: 3})
+	}
+	return out
+}
+
+// Suites returns every browser suite keyed by name.
+func Suites() map[string][]Benchmark {
+	return map[string][]Benchmark{
+		"dromaeo":    Dromaeo(),
+		"kraken":     Kraken(),
+		"octane":     Octane(),
+		"jetstream2": JetStream2(),
+	}
+}

@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+)
+
+func TestSuiteShapes(t *testing.T) {
+	suites := Suites()
+	if len(suites) != 4 {
+		t.Fatalf("suites = %d", len(suites))
+	}
+	if n := len(suites["kraken"]); n != 14 {
+		t.Errorf("kraken = %d benchmarks, want 14 (Figure 5)", n)
+	}
+	if n := len(suites["octane"]); n != 17 {
+		t.Errorf("octane = %d benchmarks, want 17 (Figure 6)", n)
+	}
+	// JetStream2 has 64 benchmarks; the paper disabled the 5 WASM tests
+	// (§5.3), leaving the 59 shown in Figure 7.
+	if n := len(suites["jetstream2"]); n != 59 {
+		t.Errorf("jetstream2 = %d benchmarks, want 59 (Figure 7, WASM disabled)", n)
+	}
+	subs := map[string]bool{}
+	for _, b := range suites["dromaeo"] {
+		subs[b.Sub] = true
+	}
+	for _, want := range []string{"dom", "v8", "dromaeo", "sunspider", "jslib"} {
+		if !subs[want] {
+			t.Errorf("dromaeo missing sub-suite %q (Table 2)", want)
+		}
+	}
+	// Names must be unique within a suite.
+	for name, list := range suites {
+		seen := map[string]bool{}
+		for _, b := range list {
+			if seen[b.Name] {
+				t.Errorf("%s: duplicate benchmark %q", name, b.Name)
+			}
+			seen[b.Name] = true
+		}
+	}
+}
+
+// TestEveryBenchmarkExecutes runs each benchmark's setup and one small
+// invocation in the base configuration — the scripts must parse and run.
+func TestEveryBenchmarkExecutes(t *testing.T) {
+	for suite, list := range Suites() {
+		for _, b := range list {
+			b := b
+			t.Run(suite+"/"+b.Name, func(t *testing.T) {
+				t.Parallel()
+				br, err := browser.New(core.Base, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b.HTML != "" {
+					if err := br.LoadHTML(b.HTML); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if b.Kind == Parse {
+					if _, err := br.ExecScript(b.Blob); err != nil {
+						t.Fatalf("blob: %v", err)
+					}
+					return
+				}
+				if _, err := br.ExecScript(b.Setup); err != nil {
+					t.Fatalf("setup: %v", err)
+				}
+				id, err := br.LookupScriptFunc("bench")
+				if err != nil {
+					t.Fatalf("no bench function: %v", err)
+				}
+				if _, err := br.InvokeScriptFunc(id, 1); err != nil {
+					t.Fatalf("bench(1): %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestBenchmarksRunUnderEnforcement: a representative benchmark from each
+// suite completes under full MPK enforcement after profiling.
+func TestBenchmarksRunUnderEnforcement(t *testing.T) {
+	picks := []Benchmark{
+		Dromaeo()[0], // dom-attr: heavy DOM traffic
+		Kraken()[0],  // audio-fft
+		Octane()[2],  // DeltaBlue
+		JetStream2()[0],
+	}
+	for _, b := range picks {
+		b := b
+		t.Run(b.Suite+"/"+b.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func(br *browser.Browser, n float64) error {
+				if b.HTML != "" {
+					if err := br.LoadHTML(b.HTML); err != nil {
+						return err
+					}
+				}
+				if _, err := br.ExecScript(b.Setup); err != nil {
+					return err
+				}
+				id, err := br.LookupScriptFunc("bench")
+				if err != nil {
+					return err
+				}
+				_, err = br.InvokeScriptFunc(id, n)
+				return err
+			}
+			prof, err := browser.CollectProfile(func(br *browser.Browser) error {
+				return run(br, 2)
+			})
+			if err != nil {
+				t.Fatalf("profiling: %v", err)
+			}
+			br, err := browser.New(core.MPK, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := run(br, b.N); err != nil {
+				t.Fatalf("enforced run: %v", err)
+			}
+		})
+	}
+}
+
+// TestTransitionDensityShape is the paper's core claim about workloads:
+// dom-style benchmarks perform orders of magnitude more compartment
+// transitions per run than compute kernels (Table 2's Transitions
+// column). This is deterministic, not timing-based.
+func TestTransitionDensityShape(t *testing.T) {
+	countTransitions := func(b Benchmark) uint64 {
+		run := func(br *browser.Browser) error {
+			if b.HTML != "" {
+				if err := br.LoadHTML(b.HTML); err != nil {
+					return err
+				}
+			}
+			if _, err := br.ExecScript(b.Setup); err != nil {
+				return err
+			}
+			id, err := br.LookupScriptFunc("bench")
+			if err != nil {
+				return err
+			}
+			_, err = br.InvokeScriptFunc(id, b.N)
+			return err
+		}
+		prof, err := browser.CollectProfile(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := browser.New(core.MPK, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(br); err != nil {
+			t.Fatal(err)
+		}
+		return br.Stats().Transitions
+	}
+	dom := countTransitions(Dromaeo()[0]) // dom-attr
+	fft := countTransitions(Kraken()[0])  // audio-fft
+	if dom < 50*fft {
+		t.Errorf("dom transitions (%d) should dwarf compute transitions (%d)", dom, fft)
+	}
+}
+
+func TestMicroWorld(t *testing.T) {
+	w, err := NewMicroWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := w.Prog.Main()
+	// Identical bodies, different gating.
+	before := w.Prog.Transitions()
+	if _, err := th.Call(MicroTrustedLib, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prog.Transitions(); got != before {
+		t.Error("trusted call crossed a gate")
+	}
+	if _, err := th.Call(MicroUntrustedLib, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prog.Transitions(); got != before+1 {
+		t.Errorf("untrusted call transitions = %d, want %d", got, before+1)
+	}
+	// Callback re-enters T: two transitions.
+	before = w.Prog.Transitions()
+	if _, err := th.Call(MicroUntrustedLib, "callback"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prog.Transitions(); got != before+2 {
+		t.Errorf("callback transitions = %d, want +2", got-before)
+	}
+	// Read-One reads the shared MU buffer from inside the gate.
+	res, err := th.Call(MicroUntrustedLib, "read_one", uint64(w.Shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 0x5eed {
+		t.Errorf("read_one = %#x", res[0])
+	}
+	// Work returns a deterministic value for a given loop count.
+	a, err := th.Call(MicroUntrustedLib, "work", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := th.Call(MicroTrustedLib, "work", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Error("trusted and untrusted work bodies differ")
+	}
+}
