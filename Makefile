@@ -1,0 +1,13 @@
+.PHONY: check test build fmt
+
+check:
+	sh scripts/check.sh
+
+test:
+	go test ./...
+
+build:
+	go build ./...
+
+fmt:
+	gofmt -w .

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -32,6 +33,7 @@ func main() {
 	repeats := flag.Int("repeats", 3, "timed repetitions per configuration (min kept)")
 	microIters := flag.Int("micro-iters", 200000, "iterations per micro-benchmark measurement")
 	csvDir := flag.String("csv", "", "directory to also write per-suite CSV data into")
+	jsonDir := flag.String("json", "", "directory to also write per-suite JSON reports (timings + telemetry) into")
 	flag.Parse()
 
 	opt := bench.Options{Scale: *scale, Repeats: *repeats}
@@ -59,12 +61,10 @@ func main() {
 		exitOn(err)
 		reports[name] = r
 		if *csvDir != "" {
-			path := filepath.Join(*csvDir, name+".csv")
-			f, err := os.Create(path)
-			exitOn(err)
-			exitOn(bench.WriteCSV(f, r))
-			exitOn(f.Close())
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			writeReport(filepath.Join(*csvDir, name+".csv"), r, bench.WriteCSV)
+		}
+		if *jsonDir != "" {
+			writeReport(filepath.Join(*jsonDir, name+".json"), r, bench.WriteJSON)
 		}
 		return r
 	}
@@ -104,6 +104,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func writeReport(path string, r bench.SuiteReport, write func(io.Writer, bench.SuiteReport) error) {
+	f, err := os.Create(path)
+	exitOn(err)
+	exitOn(write(f, r))
+	exitOn(f.Close())
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func anyExperiment(name string) bool {

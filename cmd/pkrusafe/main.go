@@ -6,162 +6,348 @@
 //	pkrusafe analyze prog.pkir -o prog.prof    static analysis, write profile
 //	pkrusafe run     prog.pkir [-profile p]    enforced (mpk) run
 //	pkrusafe exec    prog.pkir -config base    run under any configuration
+//	pkrusafe stats   prog.pkir [-profile p]    run and print a telemetry table
 //
 // The instrumented IR printed by `build` shows the AllocIds, gate marks
 // and (with -profile) the alloc→ualloc rewrites the enforcement build
-// applies.
+// applies. run/exec accept -metrics / -metrics-json to export the run's
+// telemetry (gate latencies, per-site allocations, fault counts) in
+// Prometheus text or JSON form; "-" writes to stdout. Metrics are written
+// even when the program crashes, so a missed-profile fault still leaves
+// its counters behind for debugging.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/ffi"
 	"repro/internal/interp"
+	"repro/internal/ir"
 	"repro/internal/pkir"
 	"repro/internal/profile"
 	"repro/internal/static"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// options collects every flag target; each command's flag set registers
+// only the flags that command accepts.
+type options struct {
+	profPath    string
+	outPath     string
+	entry       string
+	cfgName     string
+	traceN      int
+	metrics     string
+	metricsJSON string
+	jsonOut     bool
+}
+
+func (o *options) profileFlag(fs *flag.FlagSet) {
+	fs.StringVar(&o.profPath, "profile", "", "profile JSON to apply")
+}
+
+func (o *options) entryFlag(fs *flag.FlagSet) {
+	fs.StringVar(&o.entry, "entry", "main", "entry function")
+}
+
+func (o *options) outFlag(fs *flag.FlagSet) {
+	fs.StringVar(&o.outPath, "o", "", "output path (default: <prog.pkir>.prof)")
+}
+
+func (o *options) configFlag(fs *flag.FlagSet) {
+	fs.StringVar(&o.cfgName, "config", "mpk", "build configuration: base|alloc|mpk|profiling")
+}
+
+func (o *options) runFlags(fs *flag.FlagSet) {
+	o.profileFlag(fs)
+	o.entryFlag(fs)
+	fs.IntVar(&o.traceN, "trace", 0, "keep the last N runtime events and dump them on crash")
+	fs.StringVar(&o.metrics, "metrics", "", `write Prometheus metrics to this path ("-" = stdout)`)
+	fs.StringVar(&o.metricsJSON, "metrics-json", "", `write a JSON metrics snapshot to this path ("-" = stdout)`)
+}
+
+// command is one subcommand. The usage text is generated from this table
+// and each command's flag set, so help cannot drift from the flags the
+// code actually accepts.
+type command struct {
+	name     string
+	synopsis string
+	flags    func(o *options) *flag.FlagSet
+	run      func(o *options, path string)
+}
+
+var commands = []command{
+	{
+		name:     "build",
+		synopsis: "validate and instrument the module, print the IR",
+		flags: func(o *options) *flag.FlagSet {
+			fs := newFlagSet("build")
+			o.profileFlag(fs)
+			return fs
+		},
+		run: cmdBuild,
+	},
+	{
+		name:     "profile",
+		synopsis: "profiling run; record shared allocation sites to a profile",
+		flags: func(o *options) *flag.FlagSet {
+			fs := newFlagSet("profile")
+			o.outFlag(fs)
+			o.entryFlag(fs)
+			return fs
+		},
+		run: cmdProfile,
+	},
+	{
+		name:     "analyze",
+		synopsis: "static escape analysis; write an equivalent profile",
+		flags: func(o *options) *flag.FlagSet {
+			fs := newFlagSet("analyze")
+			o.outFlag(fs)
+			return fs
+		},
+		run: cmdAnalyze,
+	},
+	{
+		name:     "run",
+		synopsis: "enforced (mpk) run",
+		flags: func(o *options) *flag.FlagSet {
+			fs := newFlagSet("run")
+			o.runFlags(fs)
+			return fs
+		},
+		run: func(o *options, path string) { execute(o, path, core.MPK, false) },
+	},
+	{
+		name:     "exec",
+		synopsis: "run under any build configuration",
+		flags: func(o *options) *flag.FlagSet {
+			fs := newFlagSet("exec")
+			o.configFlag(fs)
+			o.runFlags(fs)
+			return fs
+		},
+		run: func(o *options, path string) { execute(o, path, parseConfig(o.cfgName), false) },
+	},
+	{
+		name:     "stats",
+		synopsis: "run with telemetry and print the metrics as a table",
+		flags: func(o *options) *flag.FlagSet {
+			fs := newFlagSet("stats")
+			o.configFlag(fs)
+			o.runFlags(fs)
+			fs.BoolVar(&o.jsonOut, "json", false, "print the snapshot as JSON instead of a table")
+			return fs
+		},
+		run: func(o *options, path string) { execute(o, path, parseConfig(o.cfgName), true) },
+	},
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ExitOnError)
+}
 
 func main() {
 	if len(os.Args) < 3 {
 		usage()
 	}
-	cmd, path := os.Args[1], os.Args[2]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	profPath := fs.String("profile", "", "profile JSON to apply (run/exec/build)")
-	outPath := fs.String("o", "", "output path (profile subcommand)")
-	entry := fs.String("entry", "main", "entry function")
-	cfgName := fs.String("config", "mpk", "exec only: base|alloc|mpk|profiling")
-	traceN := fs.Int("trace", 0, "run/exec: keep the last N runtime events and dump them on crash")
-	exitOn(fs.Parse(os.Args[3:]))
+	name, path := os.Args[1], os.Args[2]
+	for i := range commands {
+		c := &commands[i]
+		if c.name != name {
+			continue
+		}
+		o := &options{}
+		fs := c.flags(o)
+		exitOn(fs.Parse(os.Args[3:]))
+		c.run(o, path)
+		return
+	}
+	usage()
+}
 
+// usage renders the command table and each command's flag set.
+func usage() {
+	w := os.Stderr
+	fmt.Fprintln(w, "usage: pkrusafe <command> <prog.pkir> [flags]")
+	for i := range commands {
+		c := &commands[i]
+		fmt.Fprintf(w, "\n  pkrusafe %s <prog.pkir>\n        %s\n", c.name, c.synopsis)
+		fs := c.flags(&options{})
+		fs.SetOutput(w)
+		fs.PrintDefaults()
+	}
+	os.Exit(2)
+}
+
+func parseConfig(name string) core.BuildConfig {
+	switch name {
+	case "base":
+		return core.Base
+	case "alloc":
+		return core.Alloc
+	case "mpk":
+		return core.MPK
+	case "profiling":
+		return core.Profiling
+	}
+	exitOn(fmt.Errorf("unknown config %q (want base|alloc|mpk|profiling)", name))
+	panic("unreachable")
+}
+
+func loadModule(path string) *ir.Module {
 	src, err := os.ReadFile(path)
 	exitOn(err)
 	mod, err := pkir.Parse(string(src))
 	exitOn(err)
+	return mod
+}
 
+func loadProfile(o *options) *profile.Profile {
 	prof := profile.New()
-	if *profPath != "" {
-		data, err := os.ReadFile(*profPath)
+	if o.profPath != "" {
+		data, err := os.ReadFile(o.profPath)
 		exitOn(err)
 		exitOn(json.Unmarshal(data, prof))
 	}
+	return prof
+}
 
-	switch cmd {
-	case "build":
-		var applied *profile.Profile
-		if *profPath != "" {
-			applied = prof
-		}
-		st, err := compile.Pipeline(mod, applied)
-		exitOn(err)
-		fmt.Fprintf(os.Stderr, "pkrusafe: %d allocation sites, %d gates, %d address-taken, %d sites moved to MU\n",
-			st.AllocSites, st.Gates, st.AddressTaken, st.RewrittenMU)
-		fmt.Print(pkir.Format(mod))
+func cmdBuild(o *options, path string) {
+	mod := loadModule(path)
+	var applied *profile.Profile
+	if o.profPath != "" {
+		applied = loadProfile(o)
+	}
+	st, err := compile.Pipeline(mod, applied)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "pkrusafe: %d allocation sites, %d gates, %d address-taken, %d sites moved to MU\n",
+		st.AllocSites, st.Gates, st.AddressTaken, st.RewrittenMU)
+	fmt.Print(pkir.Format(mod))
+}
 
-	case "profile":
-		_, err := compile.Pipeline(mod, nil)
-		exitOn(err)
-		prog, err := core.NewProgram(ffi.NewRegistry(), core.Profiling, nil)
-		exitOn(err)
-		m, err := interp.New(mod, prog, interp.Options{Output: os.Stdout})
-		exitOn(err)
-		res, err := m.Run(*entry)
-		exitOn(err)
-		fmt.Fprintf(os.Stderr, "pkrusafe: profiling run returned %v\n", res)
-		recorded, err := prog.RecordedProfile()
-		exitOn(err)
-		data, err := json.MarshalIndent(recorded, "", "  ")
-		exitOn(err)
-		out := *outPath
-		if out == "" {
-			out = path + ".prof"
-		}
-		exitOn(os.WriteFile(out, data, 0o644))
-		fmt.Fprintf(os.Stderr, "pkrusafe: %d shared allocation sites written to %s\n", recorded.Len(), out)
+func cmdProfile(o *options, path string) {
+	mod := loadModule(path)
+	_, err := compile.Pipeline(mod, nil)
+	exitOn(err)
+	prog, err := core.NewProgram(ffi.NewRegistry(), core.Profiling, nil)
+	exitOn(err)
+	m, err := interp.New(mod, prog, interp.Options{Output: os.Stdout})
+	exitOn(err)
+	res, err := m.Run(o.entry)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "pkrusafe: profiling run returned %v\n", res)
+	recorded, err := prog.RecordedProfile()
+	exitOn(err)
+	data, err := json.MarshalIndent(recorded, "", "  ")
+	exitOn(err)
+	out := o.outPath
+	if out == "" {
+		out = path + ".prof"
+	}
+	exitOn(os.WriteFile(out, data, 0o644))
+	fmt.Fprintf(os.Stderr, "pkrusafe: %d shared allocation sites written to %s\n", recorded.Len(), out)
+}
 
-	case "analyze":
-		_, err := compile.Pipeline(mod, nil)
-		exitOn(err)
-		recorded, st, err := static.Analyze(mod)
-		exitOn(err)
-		fmt.Fprintf(os.Stderr, "pkrusafe: static analysis converged in %d iteration(s): %d of %d sites may escape\n",
-			st.Iterations, st.EscapedSites, st.TotalSites)
-		data, err := json.MarshalIndent(recorded, "", "  ")
-		exitOn(err)
-		out := *outPath
-		if out == "" {
-			out = path + ".prof"
-		}
-		exitOn(os.WriteFile(out, data, 0o644))
-		fmt.Fprintf(os.Stderr, "pkrusafe: profile written to %s\n", out)
+func cmdAnalyze(o *options, path string) {
+	mod := loadModule(path)
+	_, err := compile.Pipeline(mod, nil)
+	exitOn(err)
+	recorded, st, err := static.Analyze(mod)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "pkrusafe: static analysis converged in %d iteration(s): %d of %d sites may escape\n",
+		st.Iterations, st.EscapedSites, st.TotalSites)
+	data, err := json.MarshalIndent(recorded, "", "  ")
+	exitOn(err)
+	out := o.outPath
+	if out == "" {
+		out = path + ".prof"
+	}
+	exitOn(os.WriteFile(out, data, 0o644))
+	fmt.Fprintf(os.Stderr, "pkrusafe: profile written to %s\n", out)
+}
 
-	case "run", "exec":
-		cfg := core.MPK
-		if cmd == "exec" {
-			switch *cfgName {
-			case "base":
-				cfg = core.Base
-			case "alloc":
-				cfg = core.Alloc
-			case "mpk":
-				cfg = core.MPK
-			case "profiling":
-				cfg = core.Profiling
-			default:
-				exitOn(fmt.Errorf("unknown config %q", *cfgName))
-			}
-		}
-		var applied *profile.Profile
-		if cfg == core.MPK || cfg == core.Alloc {
-			applied = prof
-		}
-		_, err := compile.Pipeline(mod, applied)
-		exitOn(err)
-		var progProf *profile.Profile
-		if cfg == core.MPK || cfg == core.Alloc {
-			progProf = prof
-		}
-		var opts core.Options
-		var ring *trace.Ring
-		if *traceN > 0 {
-			ring = trace.NewRing(*traceN)
-			opts.Trace = ring
-		}
-		prog, err := core.NewProgram(ffi.NewRegistry(), cfg, progProf, opts)
-		exitOn(err)
-		m, err := interp.New(mod, prog, interp.Options{Output: os.Stdout})
-		exitOn(err)
-		res, err := m.Run(*entry)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pkrusafe: program crashed: %v\n", err)
-			if ring != nil {
-				fmt.Fprintf(os.Stderr, "pkrusafe: last %d runtime event(s) before death:\n", ring.Len())
-				ring.Dump(os.Stderr)
-			}
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "pkrusafe: %v run returned %v (%d transitions)\n", cfg, res, prog.Transitions())
+// execute runs the program under cfg. When table is set (the stats
+// subcommand) the run always collects telemetry and prints it afterwards;
+// otherwise telemetry is collected only when an export flag asks for it.
+func execute(o *options, path string, cfg core.BuildConfig, table bool) {
+	mod := loadModule(path)
+	var applied *profile.Profile
+	if cfg == core.MPK || cfg == core.Alloc {
+		applied = loadProfile(o)
+	}
+	_, err := compile.Pipeline(mod, applied)
+	exitOn(err)
 
-	default:
-		usage()
+	var opts core.Options
+	var ring *trace.Ring
+	if o.traceN > 0 {
+		ring = trace.NewRing(o.traceN)
+		opts.Trace = ring
+	}
+	var reg *telemetry.Registry
+	if table || o.metrics != "" || o.metricsJSON != "" {
+		reg = telemetry.NewRegistry()
+		opts.Telemetry = reg
+	}
+
+	prog, err := core.NewProgram(ffi.NewRegistry(), cfg, applied, opts)
+	exitOn(err)
+	m, err := interp.New(mod, prog, interp.Options{Output: os.Stdout})
+	exitOn(err)
+	res, runErr := m.Run(o.entry)
+
+	// Telemetry is exported before the crash branch below so a faulting
+	// run still leaves its counters behind (exit status stays 1).
+	emitTelemetry(o, reg, table)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "pkrusafe: program crashed: %v\n", runErr)
+		if ring != nil {
+			fmt.Fprintf(os.Stderr, "pkrusafe: last %d runtime event(s) before death:\n", ring.Len())
+			ring.Dump(os.Stderr)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pkrusafe: %v run returned %v (%d transitions)\n", cfg, res, prog.Transitions())
+}
+
+func emitTelemetry(o *options, reg *telemetry.Registry, table bool) {
+	if reg == nil {
+		return
+	}
+	if o.metrics != "" {
+		writeTo(o.metrics, reg.WritePrometheus)
+	}
+	if o.metricsJSON != "" {
+		writeTo(o.metricsJSON, reg.Snapshot().WriteJSON)
+	}
+	if table {
+		if o.jsonOut {
+			exitOn(reg.Snapshot().WriteJSON(os.Stdout))
+		} else {
+			fmt.Print(telemetry.FormatTable(reg.Snapshot()))
+		}
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  pkrusafe build   <prog.pkir> [-profile p.prof]
-  pkrusafe profile <prog.pkir> [-o p.prof] [-entry main]
-  pkrusafe analyze <prog.pkir> [-o p.prof]
-  pkrusafe run     <prog.pkir> [-profile p.prof] [-entry main]
-  pkrusafe exec    <prog.pkir> -config base|alloc|mpk|profiling [-profile p.prof]`)
-	os.Exit(2)
+// writeTo writes via f to path, with "-" meaning stdout. File output is
+// buffered so a failed export never leaves a truncated file behind.
+func writeTo(path string, f func(io.Writer) error) {
+	if path == "-" {
+		exitOn(f(os.Stdout))
+		return
+	}
+	var buf bytes.Buffer
+	exitOn(f(&buf))
+	exitOn(os.WriteFile(path, buf.Bytes(), 0o644))
 }
 
 func exitOn(err error) {

@@ -40,20 +40,27 @@ func WriteCSV(w io.Writer, r SuiteReport) error {
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 
+// jsonResult is the serialized shape of one benchmark's results. The
+// telemetry section carries its own schema number (see TelemetrySummary)
+// so consumers can detect field-set changes independently of the report
+// layout.
+type jsonResult struct {
+	Name        string            `json:"name"`
+	Sub         string            `json:"sub,omitempty"`
+	BaseS       float64           `json:"base_s"`
+	AllocS      float64           `json:"alloc_s"`
+	MPKS        float64           `json:"mpk_s"`
+	Transitions uint64            `json:"transitions"`
+	MUShare     float64           `json:"mu_share"`
+	Telemetry   *TelemetrySummary `json:"telemetry,omitempty"`
+}
+
 // jsonReport is the serialized shape of a suite report.
 type jsonReport struct {
-	Suite   string `json:"suite"`
-	Results []struct {
-		Name        string  `json:"name"`
-		Sub         string  `json:"sub,omitempty"`
-		BaseS       float64 `json:"base_s"`
-		AllocS      float64 `json:"alloc_s"`
-		MPKS        float64 `json:"mpk_s"`
-		Transitions uint64  `json:"transitions"`
-		MUShare     float64 `json:"mu_share"`
-	} `json:"results"`
-	MeanAllocOverhead float64 `json:"mean_alloc_overhead"`
-	MeanMPKOverhead   float64 `json:"mean_mpk_overhead"`
+	Suite             string       `json:"suite"`
+	Results           []jsonResult `json:"results"`
+	MeanAllocOverhead float64      `json:"mean_alloc_overhead"`
+	MeanMPKOverhead   float64      `json:"mean_mpk_overhead"`
 }
 
 // WriteJSON emits a suite report as JSON with suite-level aggregates.
@@ -63,15 +70,7 @@ func WriteJSON(w io.Writer, r SuiteReport) error {
 	out.MeanAllocOverhead = r.MeanAllocOverhead()
 	out.MeanMPKOverhead = r.MeanMPKOverhead()
 	for _, res := range r.Results {
-		out.Results = append(out.Results, struct {
-			Name        string  `json:"name"`
-			Sub         string  `json:"sub,omitempty"`
-			BaseS       float64 `json:"base_s"`
-			AllocS      float64 `json:"alloc_s"`
-			MPKS        float64 `json:"mpk_s"`
-			Transitions uint64  `json:"transitions"`
-			MUShare     float64 `json:"mu_share"`
-		}{
+		out.Results = append(out.Results, jsonResult{
 			Name:        res.Bench.Name,
 			Sub:         res.Bench.Sub,
 			BaseS:       res.Base.Seconds,
@@ -79,6 +78,7 @@ func WriteJSON(w io.Writer, r SuiteReport) error {
 			MPKS:        res.MPK.Seconds,
 			Transitions: res.MPK.Transitions,
 			MUShare:     res.MPK.UntrustedShare,
+			Telemetry:   res.Telemetry,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -65,6 +65,18 @@ func TestWriteJSON(t *testing.T) {
 	if !strings.Contains(buf.String(), "mean_mpk_overhead") {
 		t.Error("aggregates missing")
 	}
+	tel, ok := results[0].(map[string]any)["telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("telemetry section missing: %v", results[0])
+	}
+	if tel["schema"] != float64(TelemetrySummarySchema) {
+		t.Errorf("telemetry schema = %v, want %d", tel["schema"], TelemetrySummarySchema)
+	}
+	for _, key := range []string{"gate_crossings", "wrpkru", "gate_p50_ns", "mt_bytes_total"} {
+		if v, ok := tel[key].(float64); !ok || v <= 0 {
+			t.Errorf("telemetry[%q] = %v, want > 0", key, tel[key])
+		}
+	}
 }
 
 func TestRunAblations(t *testing.T) {

@@ -28,6 +28,9 @@ type BenchResult struct {
 	Base  Measurement
 	Alloc Measurement
 	MPK   Measurement
+	// Telemetry summarizes a separate instrumented mpk run (the timed
+	// runs above stay uninstrumented). Nil when collection was skipped.
+	Telemetry *TelemetrySummary
 }
 
 // AllocOverhead returns the alloc configuration's overhead vs base
@@ -193,6 +196,11 @@ func RunBenchmark(b workload.Benchmark, opt Options) (BenchResult, error) {
 	if res.MPK, err = measure(b, core.MPK, prof, opt); err != nil {
 		return res, err
 	}
+	tel, err := CollectTelemetry(b, prof, opt)
+	if err != nil {
+		return res, fmt.Errorf("telemetry for %s: %w", b.Name, err)
+	}
+	res.Telemetry = &tel
 	return res, nil
 }
 

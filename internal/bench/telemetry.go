@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// TelemetrySummarySchema versions the telemetry section embedded in
+// exported suite reports; bump it when the field set changes.
+const TelemetrySummarySchema = 1
+
+// TelemetrySummary condenses one instrumented mpk run of a benchmark into
+// the counters the evaluation cares about: how often the compartment
+// boundary was crossed, what a crossing cost, and how the heap traffic
+// split between the trusted (MT) and untrusted (MU) pools.
+type TelemetrySummary struct {
+	Schema        int     `json:"schema"`
+	Transitions   uint64  `json:"transitions"`
+	GateCrossings uint64  `json:"gate_crossings"`
+	PKUFaults     uint64  `json:"pku_faults"`
+	WRPKRU        uint64  `json:"wrpkru"`
+	GateP50Ns     float64 `json:"gate_p50_ns"`
+	GateP95Ns     float64 `json:"gate_p95_ns"`
+	GateP99Ns     float64 `json:"gate_p99_ns"`
+	MTBytesTotal  uint64  `json:"mt_bytes_total"`
+	MUBytesTotal  uint64  `json:"mu_bytes_total"`
+}
+
+// CollectTelemetry performs one instrumented mpk run of the benchmark and
+// condenses the registry into a summary. The run is separate from the
+// timed repeats — those stay uninstrumented, so attaching telemetry can
+// never perturb the timings the tables report.
+func CollectTelemetry(b workload.Benchmark, prof *profile.Profile, opt Options) (TelemetrySummary, error) {
+	opt.fill()
+	reg := telemetry.NewRegistry()
+	br, err := browser.New(core.MPK, prof, browser.Options{StepLimit: opt.StepLimit, Telemetry: reg})
+	if err != nil {
+		return TelemetrySummary{}, err
+	}
+	if err := runOnce(br, b, math.Max(1, b.N*opt.Scale/4)); err != nil {
+		return TelemetrySummary{}, fmt.Errorf("telemetry run %s: %w", b.Name, err)
+	}
+	s := summarize(reg)
+	s.Transitions = br.Stats().Transitions
+	return s, nil
+}
+
+// summarize reads the registry into a schema-stamped summary.
+func summarize(reg *telemetry.Registry) TelemetrySummary {
+	s := TelemetrySummary{Schema: TelemetrySummarySchema}
+	if v, ok := reg.CounterValue("pkrusafe_gate_crossings_total"); ok {
+		s.GateCrossings = uint64(v)
+	}
+	if v, ok := reg.CounterValue("pkrusafe_vm_pku_faults_total"); ok {
+		s.PKUFaults = uint64(v)
+	}
+	if v, ok := reg.CounterValue("pkrusafe_vm_wrpkru_total"); ok {
+		s.WRPKRU = uint64(v)
+	}
+	if qs, _, ok := reg.HistogramQuantiles("pkrusafe_gate_latency_ns", 0.5, 0.95, 0.99); ok {
+		s.GateP50Ns, s.GateP95Ns, s.GateP99Ns = qs[0], qs[1], qs[2]
+	}
+	snap := reg.Snapshot()
+	s.MTBytesTotal = uint64(sumSeries(snap, "pkrusafe_site_bytes_total", "pool", "MT"))
+	s.MUBytesTotal = uint64(sumSeries(snap, "pkrusafe_site_bytes_total", "pool", "MU"))
+	return s
+}
+
+// sumSeries totals a metric's series whose label equals value.
+func sumSeries(snap *telemetry.Snapshot, metric, label, value string) float64 {
+	for _, m := range snap.Metrics {
+		if m.Name != metric {
+			continue
+		}
+		idx := -1
+		for i, l := range m.Labels {
+			if l == label {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return 0
+		}
+		var total float64
+		for _, s := range m.Series {
+			if idx < len(s.LabelValues) && s.LabelValues[idx] == value {
+				total += s.Value
+			}
+		}
+		return total
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// loadStoreWorld builds a micro world and returns the main VM thread plus
+// an MU address it may touch, optionally with telemetry attached.
+func loadStoreWorld(tb testing.TB, reg *telemetry.Registry) (*vm.Thread, vm.Addr) {
+	tb.Helper()
+	var opts []core.Options
+	if reg != nil {
+		opts = append(opts, core.Options{Telemetry: reg})
+	}
+	w, err := workload.NewMicroWorld(opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w.Prog.Main().VM, w.Shared
+}
+
+// TestHotPathZeroAlloc pins the acceptance criterion that a nil registry
+// adds no allocations to the vm load/store hot path: the telemetry guard
+// is a single pointer test, never an interface conversion or closure.
+func TestHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; skipping allocation-count assertion")
+	}
+	th, addr := loadStoreWorld(t, nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := th.Store64(addr, 42); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := th.Load64(addr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("load/store pair allocates %v times without telemetry, want 0", allocs)
+	}
+}
+
+// The pair below measures the cost the telemetry counters add to the vm
+// access path; compare with
+//
+//	go test ./internal/bench -bench VMLoadStore -benchmem
+func BenchmarkVMLoadStore(b *testing.B) {
+	th, addr := loadStoreWorld(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.Store64(addr, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := th.Load64(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMLoadStoreTelemetry(b *testing.B) {
+	th, addr := loadStoreWorld(b, telemetry.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.Store64(addr, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := th.Load64(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ffi"
 	"repro/internal/jsengine"
 	"repro/internal/mpk"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -44,7 +46,7 @@ type Browser struct {
 
 	subsystems []subsystem
 	secret     vm.Addr
-	domOps     uint64
+	domOps     atomic.Uint64
 }
 
 // Options tunes New.
@@ -53,6 +55,9 @@ type Options struct {
 	ScriptOutput io.Writer
 	// StepLimit bounds script execution (passed to the engine).
 	StepLimit uint64
+	// Telemetry, when non-nil, attaches the whole stack — program, gates,
+	// allocator, DOM and per-subsystem rollups — to the metrics registry.
+	Telemetry *telemetry.Registry
 }
 
 // New builds a browser under the given configuration. Alloc and MPK
@@ -67,11 +72,15 @@ func New(cfg core.BuildConfig, prof *profile.Profile, opts ...Options) (*Browser
 	if err := eng.Install(reg, jsengine.DefaultLib); err != nil {
 		return nil, err
 	}
-	prog, err := core.NewProgram(reg, cfg, prof)
+	prog, err := core.NewProgram(reg, cfg, prof, core.Options{Telemetry: opt.Telemetry})
 	if err != nil {
 		return nil, err
 	}
 	b := &Browser{Prog: prog, Engine: eng, Doc: newDocument()}
+	if opt.Telemetry != nil {
+		opt.Telemetry.GaugeFunc("pkrusafe_browser_dom_ops",
+			"Trusted DOM operations performed.", func() float64 { return float64(b.domOps.Load()) })
+	}
 	b.siteNode = prog.Site("servo::dom::node_record", 0, 0)
 	b.siteText = prog.Site("servo::dom::text", 0, 0)
 	b.siteAttr = prog.Site("servo::dom::attr", 0, 0)
@@ -97,7 +106,7 @@ func New(cfg core.BuildConfig, prof *profile.Profile, opts ...Options) (*Browser
 func (b *Browser) th() *ffi.Thread { return b.Prog.Main() }
 
 // DOMOps returns the count of trusted DOM operations performed.
-func (b *Browser) DOMOps() uint64 { return b.domOps }
+func (b *Browser) DOMOps() uint64 { return b.domOps.Load() }
 
 // --- trusted DOM operations (run with the caller's rights; behind a
 // reverse gate these are full rights, as §3.3 requires) ---
@@ -122,7 +131,7 @@ func (b *Browser) createElement(th *ffi.Thread, tag string) (*Node, error) {
 	if err := th.Store64(rec+8, tagHash(tag)); err != nil {
 		return nil, err
 	}
-	b.domOps++
+	b.domOps.Add(1)
 	return n, nil
 }
 
@@ -132,7 +141,7 @@ func (b *Browser) appendChild(th *ffi.Thread, parent, child *Node) error {
 	}
 	parent.Children = append(parent.Children, child)
 	child.Parent = parent
-	b.domOps++
+	b.domOps.Add(1)
 	return th.Store64(parent.record+32, uint64(len(parent.Children)))
 }
 
@@ -153,7 +162,7 @@ func (b *Browser) setText(th *ffi.Thread, n *Node, text string) error {
 		}
 		n.textAddr, n.textLen = addr, uint64(len(text))
 	}
-	b.domOps++
+	b.domOps.Add(1)
 	if err := th.Store64(n.record+16, uint64(n.textAddr)); err != nil {
 		return err
 	}
@@ -193,7 +202,7 @@ func (b *Browser) setAttr(th *ffi.Thread, n *Node, key, val string) error {
 		}
 		n.attrAddrs[key] = attrBuf{addr: addr, len: uint64(len(val))}
 	}
-	b.domOps++
+	b.domOps.Add(1)
 	return th.Store64(n.record+40, uint64(len(n.Attrs)))
 }
 
@@ -208,7 +217,7 @@ func (b *Browser) removeSubtree(th *ffi.Thread, n *Node) error {
 		}
 	}
 	n.Children = nil
-	b.domOps++
+	b.domOps.Add(1)
 	return th.Store64(n.record+32, 0)
 }
 
@@ -307,7 +316,7 @@ func (b *Browser) layout(th *ffi.Thread) error {
 			return err
 		}
 	}
-	b.domOps++
+	b.domOps.Add(1)
 	return nil
 }
 
@@ -464,7 +473,7 @@ func (b *Browser) Stats() Stats {
 	rep := b.Prog.Report()
 	return Stats{
 		Transitions:    b.Prog.Transitions(),
-		DOMOps:         b.domOps,
+		DOMOps:         b.domOps.Load(),
 		UntrustedShare: rep.UntrustedShare,
 		TotalSites:     rep.TotalSites,
 		UntrustedSites: rep.UntrustedSites,

@@ -2,6 +2,7 @@ package browser
 
 import (
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -44,20 +45,32 @@ var subsystemSpecs = []subsystemSpec{
 // registerSubsystems registers every subsystem allocation site with the
 // program, so site counts reflect the whole binary, not just the code a
 // given page happens to execute — matching how AllocIds are assigned at
-// compile time over all of Servo.
+// compile time over all of Servo. With telemetry attached, each subsystem
+// also gets rollup counters aggregating its sites.
 func (b *Browser) registerSubsystems() {
+	allocs := b.Prog.Telemetry().CounterVec("pkrusafe_browser_subsystem_allocs_total",
+		"Allocations performed per browser subsystem (rollup over its sites).", "subsystem")
+	bytes := b.Prog.Telemetry().CounterVec("pkrusafe_browser_subsystem_bytes_total",
+		"Bytes allocated per browser subsystem (rollup over its sites).", "subsystem")
 	for _, spec := range subsystemSpecs {
 		sites := make([]*core.Site, spec.sites)
 		for i := range sites {
 			sites[i] = b.Prog.Site(spec.name, 0, uint32(i))
 		}
-		b.subsystems = append(b.subsystems, subsystem{spec: spec, sites: sites})
+		b.subsystems = append(b.subsystems, subsystem{
+			spec:    spec,
+			sites:   sites,
+			mAllocs: allocs.With(spec.name),
+			mBytes:  bytes.With(spec.name),
+		})
 	}
 }
 
 type subsystem struct {
-	spec  subsystemSpec
-	sites []*core.Site
+	spec    subsystemSpec
+	sites   []*core.Site
+	mAllocs *telemetry.Counter // nil-safe rollup counters
+	mBytes  *telemetry.Counter
 }
 
 // exerciseSubsystems performs one round of private browser work across
@@ -72,6 +85,8 @@ func (b *Browser) exerciseSubsystems() error {
 			if err != nil {
 				return err
 			}
+			sub.mAllocs.Inc()
+			sub.mBytes.Add(sub.spec.size)
 			if err := th.Store64(addr, uint64(site.ID.Site)+1); err != nil {
 				return err
 			}

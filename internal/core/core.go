@@ -23,10 +23,12 @@ import (
 	"sync"
 
 	"repro/internal/ffi"
+	"repro/internal/heap"
 	"repro/internal/pkalloc"
 	"repro/internal/profile"
 	"repro/internal/provenance"
 	"repro/internal/sig"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -78,6 +80,11 @@ type Site struct {
 	mu     sync.Mutex
 	allocs uint64
 	bytes  uint64
+
+	// Registry counters, resolved once at registration so the per-alloc
+	// path never does a label lookup. Nil (a no-op) without telemetry.
+	mAllocs *telemetry.Counter
+	mBytes  *telemetry.Counter
 }
 
 // Allocs returns how many allocations the site has served.
@@ -108,6 +115,27 @@ type Program struct {
 	sites map[profile.AllocID]*Site
 
 	main *ffi.Thread
+
+	tel *programTelemetry
+}
+
+// programTelemetry holds the registry plus the handles the program's own
+// paths report into. Nil when no registry is attached.
+type programTelemetry struct {
+	reg        *telemetry.Registry
+	siteAllocs *telemetry.CounterVec // allocations by site and pool
+	siteBytes  *telemetry.CounterVec // bytes by site and pool
+	allocLat   map[pkalloc.Compartment]*telemetry.Histogram
+	freeLat    map[pkalloc.Compartment]*telemetry.Histogram
+}
+
+// poolName is the label value for a compartment, matching the paper's
+// heap names.
+func poolName(c pkalloc.Compartment) string {
+	if c == pkalloc.Untrusted {
+		return "MU"
+	}
+	return "MT"
 }
 
 // Options tunes NewProgram beyond the defaults.
@@ -123,6 +151,10 @@ type Options struct {
 	// Trace, when non-nil, records gate traversals and (in Profiling
 	// builds) fault handling into the ring for post-mortem dumps.
 	Trace *trace.Ring
+	// Telemetry, when non-nil, attaches every layer of the program — VM
+	// access/fault counters, gate crossings and latencies, allocation
+	// sites, heap gauges, the profiler — to the metrics registry.
+	Telemetry *telemetry.Registry
 }
 
 // NewProgram builds a program from annotated libraries under the given
@@ -166,10 +198,16 @@ func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts 
 	if opt.Trace != nil {
 		p.runtime.SetTrace(opt.Trace)
 	}
+	if opt.Telemetry != nil {
+		p.attachTelemetry(opt.Telemetry)
+	}
 	if cfg == Profiling {
 		p.tracer = provenance.NewTracer(opt.Store, profile.New(), alloc.TrustedKey())
 		if opt.Trace != nil {
 			p.tracer.SetTrace(opt.Trace)
+		}
+		if opt.Telemetry != nil {
+			p.tracer.SetTelemetry(opt.Telemetry)
 		}
 		// Installed immediately; applications that register their own
 		// SIGSEGV handlers first are chained to automatically.
@@ -177,6 +215,60 @@ func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts 
 	}
 	p.main = p.runtime.NewThread()
 	return p, nil
+}
+
+// attachTelemetry registers the program's metric families on reg and wires
+// the runtime (threads minted afterwards inherit VM counter promotion).
+func (p *Program) attachTelemetry(reg *telemetry.Registry) {
+	p.runtime.SetTelemetry(reg)
+	tel := &programTelemetry{
+		reg: reg,
+		siteAllocs: reg.CounterVec("pkrusafe_site_allocs_total",
+			"Allocations served per registered allocation site.", "site", "pool"),
+		siteBytes: reg.CounterVec("pkrusafe_site_bytes_total",
+			"Bytes served per registered allocation site.", "site", "pool"),
+		allocLat: make(map[pkalloc.Compartment]*telemetry.Histogram),
+		freeLat:  make(map[pkalloc.Compartment]*telemetry.Histogram),
+	}
+	allocLat := reg.HistogramVec("pkrusafe_heap_alloc_latency_ns",
+		"Site allocation latency inside the pkalloc pools.", "ns", "pool")
+	freeLat := reg.HistogramVec("pkrusafe_heap_free_latency_ns",
+		"Free latency inside the pkalloc pools.", "ns", "pool")
+	gauges := reg.GaugeVec("pkrusafe_heap", "Allocator activity by pool (see field label).", "pool", "field")
+	for _, c := range []pkalloc.Compartment{pkalloc.Trusted, pkalloc.Untrusted} {
+		c := c
+		name := poolName(c)
+		tel.allocLat[c] = allocLat.With(name)
+		tel.freeLat[c] = freeLat.With(name)
+		stats := func() heap.Stats { return p.poolStats(c) }
+		gauges.WithFunc(func() float64 { return float64(stats().BytesLive) }, name, "bytes_live")
+		gauges.WithFunc(func() float64 { return float64(stats().BytesTotal) }, name, "bytes_total")
+		gauges.WithFunc(func() float64 { return float64(stats().Allocs) }, name, "allocs")
+		gauges.WithFunc(func() float64 { return float64(stats().Frees) }, name, "frees")
+		gauges.WithFunc(func() float64 { return float64(stats().PagesMapped) }, name, "pages_mapped")
+		gauges.WithFunc(func() float64 { return float64(stats().ReuseHits) }, name, "reuse_hits")
+		gauges.WithFunc(func() float64 { return float64(stats().FreshAllocs) }, name, "fresh_allocs")
+		gauges.WithFunc(func() float64 { return float64(stats().PageReuse) }, name, "page_reuse")
+		gauges.WithFunc(func() float64 { return float64(stats().PageFresh) }, name, "page_fresh")
+	}
+	p.tel = tel
+}
+
+// poolStats samples one compartment's allocator stats.
+func (p *Program) poolStats(c pkalloc.Compartment) heap.Stats {
+	s := p.alloc.Stats()
+	if c == pkalloc.Untrusted {
+		return s.Untrusted
+	}
+	return s.Trusted
+}
+
+// Telemetry returns the attached metrics registry (nil if none).
+func (p *Program) Telemetry() *telemetry.Registry {
+	if p.tel == nil {
+		return nil
+	}
+	return p.tel.reg
 }
 
 // Config returns the build configuration.
@@ -216,16 +308,31 @@ func (p *Program) RecordedProfile() (*profile.Profile, error) {
 // made here, once: sites present in the applied profile draw from MU.
 func (p *Program) Site(fn string, block, site uint32) *Site {
 	id := profile.AllocID{Func: fn, Block: block, Site: site}
+	pool := pkalloc.Trusted
+	if p.cfg.appliesProfile() && p.applied.Contains(id) {
+		pool = pkalloc.Untrusted
+	}
+	return p.site(id, pool)
+}
+
+// UntrustedSite registers (or returns) an allocation site whose pool is MU
+// regardless of the profile — an explicit ualloc/usalloc in the source, as
+// opposed to a profile-rewritten alloc (which Site classifies itself).
+func (p *Program) UntrustedSite(fn string, block, site uint32) *Site {
+	return p.site(profile.AllocID{Func: fn, Block: block, Site: site}, pkalloc.Untrusted)
+}
+
+func (p *Program) site(id profile.AllocID, pool pkalloc.Compartment) *Site {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if s, ok := p.sites[id]; ok {
 		return s
 	}
-	pool := pkalloc.Trusted
-	if p.cfg.appliesProfile() && p.applied.Contains(id) {
-		pool = pkalloc.Untrusted
-	}
 	s := &Site{ID: id, Pool: pool}
+	if tel := p.tel; tel != nil {
+		s.mAllocs = tel.siteAllocs.With(id.String(), poolName(pool))
+		s.mBytes = tel.siteBytes.With(id.String(), poolName(pool))
+	}
 	p.sites[id] = s
 	return s
 }
@@ -233,7 +340,12 @@ func (p *Program) Site(fn string, block, site uint32) *Site {
 // AllocAt serves an allocation from a registered site, routing to the pool
 // the build decided and feeding the provenance tracer in Profiling builds.
 func (p *Program) AllocAt(s *Site, size uint64) (vm.Addr, error) {
+	var sp telemetry.Span
+	if tel := p.tel; tel != nil {
+		sp = telemetry.StartSpan(tel.allocLat[s.Pool], nil, "heap:alloc")
+	}
 	addr, err := p.alloc.AllocIn(s.Pool, size)
+	sp.End()
 	if err != nil {
 		return 0, err
 	}
@@ -241,6 +353,8 @@ func (p *Program) AllocAt(s *Site, size uint64) (vm.Addr, error) {
 	s.allocs++
 	s.bytes += size
 	s.mu.Unlock()
+	s.mAllocs.Inc()
+	s.mBytes.Add(size)
 	if p.tracer != nil && s.Pool == pkalloc.Trusted {
 		p.tracer.LogAlloc(uint64(addr), size, s.ID)
 	}
@@ -264,6 +378,13 @@ func (p *Program) Realloc(addr vm.Addr, newSize uint64) (vm.Addr, error) {
 func (p *Program) Free(addr vm.Addr) error {
 	if p.tracer != nil {
 		p.tracer.LogDealloc(uint64(addr))
+	}
+	if tel := p.tel; tel != nil {
+		pool, _ := p.alloc.CompartmentOf(addr)
+		sp := telemetry.StartSpan(tel.freeLat[pool], nil, "heap:free")
+		err := p.alloc.Free(addr)
+		sp.End()
+		return err
 	}
 	return p.alloc.Free(addr)
 }

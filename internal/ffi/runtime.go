@@ -8,6 +8,7 @@ import (
 	"repro/internal/mpk"
 	"repro/internal/pkalloc"
 	"repro/internal/sig"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -54,6 +55,38 @@ type Runtime struct {
 	ring          *trace.Ring
 	transitions   atomic.Uint64
 	aborted       atomic.Bool
+	tel           *runtimeTelemetry
+}
+
+// runtimeTelemetry holds the registry handles the FFI layer reports into.
+// A nil *runtimeTelemetry (the default) disables reporting; the gated call
+// path then pays one pointer test.
+type runtimeTelemetry struct {
+	vm      *vm.Metrics
+	enterU  *telemetry.Counter      // forward gates: trusted → untrusted
+	enterT  *telemetry.Counter      // reverse gates: untrusted → trusted
+	gateLat *telemetry.HistogramVec // gate enter→exit latency by target library
+}
+
+// SetTelemetry attaches the runtime (and every thread minted afterwards)
+// to a metrics registry: gate crossings are counted by direction, each
+// gated call's enter→exit latency is observed into a per-library
+// histogram, and threads promote their access/fault counters into the
+// registry. A nil registry detaches.
+func (rt *Runtime) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		rt.tel = nil
+		return
+	}
+	crossings := reg.CounterVec("pkrusafe_gate_crossings_total",
+		"Compartment boundary crossings through call gates, by direction.", "direction")
+	rt.tel = &runtimeTelemetry{
+		vm:     vm.NewMetrics(reg),
+		enterU: crossings.With("enter_untrusted"),
+		enterT: crossings.With("enter_trusted"),
+		gateLat: reg.HistogramVec("pkrusafe_gate_latency_ns",
+			"Gated call latency from gate enter to rights restore, by target library.", "ns", "lib"),
+	}
 }
 
 // NewRuntime creates a runtime. The untrusted PKRU value denies all access
@@ -126,7 +159,11 @@ func (rt *Runtime) Abort() { rt.aborted.Store(true) }
 // NewThread mints an execution context starting in the trusted compartment
 // with full rights.
 func (rt *Runtime) NewThread() *Thread {
-	return &Thread{rt: rt, VM: vm.NewThread(rt.Alloc.Space(), rt.Sigs)}
+	t := &Thread{rt: rt, VM: vm.NewThread(rt.Alloc.Space(), rt.Sigs)}
+	if tel := rt.tel; tel != nil {
+		t.VM.SetMetrics(tel.vm)
+	}
+	return t
 }
 
 // Thread is one execution context: a simulated CPU, the per-thread
@@ -184,7 +221,7 @@ func (t *Thread) Call(lib, fn string, args ...uint64) ([]uint64, error) {
 		if l.Trust == Untrusted {
 			target = t.rt.untrustedPKRU
 		}
-		return t.throughGate(l.Trust, target, f, args)
+		return t.throughGate(l.Name, l.Trust, target, f, args)
 	}
 	return t.plainCall(l.Trust, f, args)
 }
@@ -216,7 +253,16 @@ func (t *Thread) plainCall(trust Trust, f Func, args []uint64) ([]uint64, error)
 
 // throughGate performs one gated call: push current rights, install and
 // verify the target rights, run, restore.
-func (t *Thread) throughGate(trust Trust, target mpk.PKRU, f Func, args []uint64) ([]uint64, error) {
+func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Func, args []uint64) ([]uint64, error) {
+	var sp telemetry.Span
+	if tel := t.rt.tel; tel != nil {
+		if trust == Untrusted {
+			tel.enterU.Inc()
+		} else {
+			tel.enterT.Inc()
+		}
+		sp = telemetry.StartSpan(tel.gateLat.With(libName), t.rt.ring, "gate:"+libName)
+	}
 	prev := t.VM.Rights()
 	t.stack = append(t.stack, prev)
 	t.trust = append(t.trust, trust)
@@ -230,6 +276,7 @@ func (t *Thread) throughGate(trust Trust, target mpk.PKRU, f Func, args []uint64
 	// reuse of gates under CFI; here it guards against runtime tampering.
 	if t.VM.Rights() != target {
 		t.rt.aborted.Store(true)
+		sp.End()
 		return nil, ErrGateTampered
 	}
 	t.rt.transitions.Add(1)
@@ -241,6 +288,7 @@ func (t *Thread) throughGate(trust Trust, target mpk.PKRU, f Func, args []uint64
 	if t.rt.ring != nil {
 		t.rt.ring.Emit(trace.Event{Kind: trace.GateExit, A: uint64(uint32(prev))})
 	}
+	sp.End()
 	return res, err
 }
 

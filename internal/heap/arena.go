@@ -98,9 +98,14 @@ func (a *Arena) Alloc(size uint64) (vm.Addr, error) {
 		return a.allocLarge(req, size)
 	}
 	ci := classIndex(size)
-	sl, err := a.partialSlab(ci)
+	sl, created, err := a.partialSlab(ci)
 	if err != nil {
 		return 0, err
+	}
+	if created {
+		a.stats.FreshAllocs++
+	} else {
+		a.stats.ReuseHits++
 	}
 	slot := sl.takeSlot()
 	if sl.live == sl.slots {
@@ -122,6 +127,7 @@ func (a *Arena) allocLarge(req, size uint64) (vm.Addr, error) {
 		return 0, err
 	}
 	a.large[addr] = pages
+	a.stats.FreshAllocs++
 	a.stats.Allocs++
 	a.stats.BytesLive += pages * vm.PageSize
 	a.stats.BytesTotal += pages * vm.PageSize
@@ -131,17 +137,17 @@ func (a *Arena) allocLarge(req, size uint64) (vm.Addr, error) {
 }
 
 // partialSlab returns a slab for class ci with at least one free slot,
-// creating one if necessary.
-func (a *Arena) partialSlab(ci int) (*slab, error) {
+// creating one if necessary; created reports whether a new slab was made.
+func (a *Arena) partialSlab(ci int) (*slab, bool, error) {
 	if list := a.partial[ci]; len(list) > 0 {
-		return list[len(list)-1], nil
+		return list[len(list)-1], false, nil
 	}
 	slotSize := smallClasses[ci]
 	// Size slabs to hold at least 8 slots and waste at most one partial slot.
 	pages := alignUp(slotSize*8, vm.PageSize) / vm.PageSize
 	base, err := a.pool.AllocPages(pages)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	slots := pages * vm.PageSize / slotSize
 	sl := &slab{
@@ -156,7 +162,7 @@ func (a *Arena) partialSlab(ci int) (*slab, error) {
 	}
 	a.partial[ci] = append(a.partial[ci], sl)
 	a.stats.PagesMapped += pages
-	return sl, nil
+	return sl, true, nil
 }
 
 // takeSlot claims the lowest free slot. The caller guarantees one exists.
@@ -260,4 +266,9 @@ func (a *Arena) UsableSize(addr vm.Addr) (uint64, bool) {
 func (a *Arena) Owns(addr vm.Addr) bool { return a.pool.Region().Contains(addr) }
 
 // Stats implements Allocator.
-func (a *Arena) Stats() Stats { return a.stats }
+func (a *Arena) Stats() Stats {
+	s := a.stats
+	s.PageReuse = a.pool.ReuseCount()
+	s.PageFresh = a.pool.FreshCount()
+	return s
+}

@@ -84,12 +84,14 @@ func (f *FreeList) Alloc(size uint64) (vm.Addr, error) {
 		}
 		f.unlink(c)
 		f.carve(c, need)
+		f.stats.ReuseHits++
 		return f.finishAlloc(c, size)
 	}
 	// Fall back to the wilderness chunk, growing it as needed.
 	if err := f.ensureTop(need); err != nil {
 		return 0, err
 	}
+	f.stats.FreshAllocs++
 	c := f.top
 	f.top += vm.Addr(need)
 	f.topSize -= need
@@ -276,7 +278,12 @@ func (f *FreeList) UsableSize(payload vm.Addr) (uint64, bool) {
 func (f *FreeList) Owns(addr vm.Addr) bool { return f.pool.Region().Contains(addr) }
 
 // Stats implements Allocator.
-func (f *FreeList) Stats() Stats { return f.stats }
+func (f *FreeList) Stats() Stats {
+	s := f.stats
+	s.PageReuse = f.pool.ReuseCount()
+	s.PageFresh = f.pool.FreshCount()
+	return s
+}
 
 // FreeChunks returns the length of the free list (for tests).
 func (f *FreeList) FreeChunks() int {

@@ -38,6 +38,10 @@ type Stats struct {
 	BytesLive   uint64 // bytes currently allocated (requested sizes)
 	BytesTotal  uint64 // cumulative bytes handed out (requested sizes)
 	PagesMapped uint64 // pages drawn from the page pool and still held
+	ReuseHits   uint64 // allocations served from recycled memory (free list / partial slab)
+	FreshAllocs uint64 // allocations served from never-used memory (wilderness / new slab / large run)
+	PageReuse   uint64 // page-run requests the pool served from its free runs
+	PageFresh   uint64 // page-run requests the pool served from the bump pointer
 }
 
 // Allocator is the interface shared by Arena and FreeList.

@@ -22,6 +22,8 @@ type PagePool struct {
 	next   vm.Addr // bump pointer into never-used tail of the region
 	free   []run   // address-ordered, coalesced free runs
 	mapped uint64  // pages currently held by callers
+	reuse  uint64  // AllocPages calls satisfied from a recycled free run
+	fresh  uint64  // AllocPages calls satisfied from the bump pointer
 }
 
 // NewPagePool creates a pool over the whole of region.
@@ -50,6 +52,7 @@ func (p *PagePool) AllocPages(n uint64) (vm.Addr, error) {
 			p.free[i] = run{addr: r.addr + vm.Addr(n*vm.PageSize), pages: r.pages - n}
 		}
 		p.mapped += n
+		p.reuse++
 		return addr, nil
 	}
 	need := n * vm.PageSize
@@ -59,6 +62,7 @@ func (p *PagePool) AllocPages(n uint64) (vm.Addr, error) {
 	addr := p.next
 	p.next += vm.Addr(need)
 	p.mapped += n
+	p.fresh++
 	return addr, nil
 }
 
@@ -106,6 +110,14 @@ func (p *PagePool) FreePages(addr vm.Addr, n uint64) error {
 
 // MappedPages returns the number of pages currently held by callers.
 func (p *PagePool) MappedPages() uint64 { return p.mapped }
+
+// ReuseCount returns how many AllocPages calls were served from recycled
+// free runs.
+func (p *PagePool) ReuseCount() uint64 { return p.reuse }
+
+// FreshCount returns how many AllocPages calls were served from the
+// never-used tail of the region.
+func (p *PagePool) FreshCount() uint64 { return p.fresh }
 
 // FreeRuns returns the number of coalesced free runs (for tests).
 func (p *PagePool) FreeRuns() int { return len(p.free) }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ffi"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -131,13 +132,30 @@ func New(mod *ir.Module, prog *core.Program, opts ...Options) (*Machine, error) 
 // Stats returns interpreter counters.
 func (m *Machine) Stats() Stats { return m.stats }
 
-// Run invokes the named function on the program's main thread.
+// Run invokes the named function on the program's main thread. With a
+// telemetry registry attached to the program, the whole run is timed as a
+// span and the interpreter's instruction/call counts are promoted into
+// registry counters when the run finishes (batched, so the per-instruction
+// dispatch loop stays untouched).
 func (m *Machine) Run(entry string, args ...uint64) ([]uint64, error) {
 	f, ok := m.mod.Func(entry)
 	if !ok {
 		return nil, fmt.Errorf("interp: no function %q", entry)
 	}
-	return m.call(m.prog.Main(), nil, f, args)
+	reg := m.prog.Telemetry()
+	sp := telemetry.StartSpan(
+		reg.Histogram("pkrusafe_interp_run_ns", "Wall time of one interpreter entry-point run.", "ns"),
+		nil, "interp:run")
+	before := m.stats
+	res, err := m.call(m.prog.Main(), nil, f, args)
+	sp.End()
+	if reg != nil {
+		reg.Counter("pkrusafe_interp_instructions_total", "Instructions executed by the IR interpreter.").
+			Add(m.stats.Instructions - before.Instructions)
+		reg.Counter("pkrusafe_interp_calls_total", "Function calls dispatched by the IR interpreter.").
+			Add(m.stats.Calls - before.Calls)
+	}
+	return res, err
 }
 
 // libOf returns the FFI library a function was registered in.
@@ -300,6 +318,19 @@ func (m *Machine) step(th *ffi.Thread, f *ir.Func, fr *frame, ins *ir.Instr) (ne
 		if e != nil {
 			return "", nil, false, e
 		}
+		// With an AllocId (assigned to rewritten and explicit ualloc alike)
+		// the allocation goes through the registered site, so per-site
+		// accounting covers MU traffic too; the pool is forced to MU rather
+		// than profile-classified because an explicit ualloc site is not in
+		// the profile.
+		if ins.Site.Func != "" {
+			site := m.prog.UntrustedSite(ins.Site.Func, ins.Site.Block, ins.Site.Site)
+			addr, e := m.prog.AllocAt(site, size)
+			if e != nil {
+				return "", nil, false, e
+			}
+			return "", nil, false, setDst(uint64(addr))
+		}
 		addr, e := m.prog.Allocator().UntrustedAlloc(size)
 		if e != nil {
 			return "", nil, false, e
@@ -329,6 +360,15 @@ func (m *Machine) step(th *ffi.Thread, f *ir.Func, fr *frame, ins *ir.Instr) (ne
 		size, e := arg(0)
 		if e != nil {
 			return "", nil, false, e
+		}
+		if ins.Site.Func != "" {
+			site := m.prog.UntrustedSite(ins.Site.Func, ins.Site.Block, ins.Site.Site)
+			addr, e := m.prog.AllocAt(site, size)
+			if e != nil {
+				return "", nil, false, e
+			}
+			fr.stackSlots = append(fr.stackSlots, addr)
+			return "", nil, false, setDst(uint64(addr))
 		}
 		addr, e := m.prog.Allocator().UntrustedAlloc(size)
 		if e != nil {

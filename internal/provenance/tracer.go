@@ -6,6 +6,7 @@ import (
 	"repro/internal/mpk"
 	"repro/internal/profile"
 	"repro/internal/sig"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -37,14 +38,25 @@ type Tracer struct {
 	prof       *profile.Profile
 	trustedKey mpk.Key
 
-	// saved pre-fault PKRU per thread context, restored on SIGTRAP.
-	saved map[sig.Context]uint32
+	// saved pre-fault state per thread context, restored on SIGTRAP.
+	saved map[sig.Context]savedState
 
 	prevSegv sig.Handler
 	prevTrap sig.Handler
 	ring     *trace.Ring
 
 	stats TracerStats
+
+	// telemetry handles (all nil-safe; nil when no registry is attached).
+	siteFaults *telemetry.CounterVec // recorded faults by allocation site
+	resumeLat  *telemetry.Histogram  // fault record → single-step resume latency
+}
+
+// savedState is what onSegv stashes for the matching onTrap: the pre-fault
+// rights plus the record→resume span being timed.
+type savedState struct {
+	pkru uint32
+	span telemetry.Span
 }
 
 // NewTracer creates a tracer recording into prof. The store may be nil, in
@@ -57,8 +69,24 @@ func NewTracer(store Store, prof *profile.Profile, trustedKey mpk.Key) *Tracer {
 		store:      store,
 		prof:       prof,
 		trustedKey: trustedKey,
-		saved:      make(map[sig.Context]uint32),
+		saved:      make(map[sig.Context]savedState),
 	}
+}
+
+// SetTelemetry attaches the tracer to a metrics registry: recorded faults
+// are counted per allocation site, and each record→resume round trip is
+// observed into a latency histogram. A nil registry detaches.
+func (t *Tracer) SetTelemetry(reg *telemetry.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if reg == nil {
+		t.siteFaults, t.resumeLat = nil, nil
+		return
+	}
+	t.siteFaults = reg.CounterVec("pkrusafe_profiler_site_faults_total",
+		"PKU faults attributed to a tracked object, by allocation site.", "site")
+	t.resumeLat = reg.Histogram("pkrusafe_profiler_resume_latency_ns",
+		"Latency from fault recording to the single-step resume restoring rights.", "ns")
 }
 
 // Install registers the tracer's handlers on the table, retaining any
@@ -140,6 +168,9 @@ func (t *Tracer) onSegv(info *sig.Info, ctx sig.Context) sig.Action {
 	if e, ok := t.store.Lookup(addr(info.Addr)); ok {
 		t.prof.Add(e.ID, e.Size)
 		t.stats.RecordedFaults++
+		if t.siteFaults != nil {
+			t.siteFaults.With(e.ID.String()).Inc()
+		}
 		if t.ring != nil {
 			t.ring.Emit(trace.Event{Kind: trace.Record, A: uint64(e.Base), Note: e.ID.String()})
 		}
@@ -149,7 +180,10 @@ func (t *Tracer) onSegv(info *sig.Info, ctx sig.Context) sig.Action {
 	if t.ring != nil {
 		t.ring.Emit(trace.Event{Kind: trace.Fault, A: info.Addr, B: uint64(info.PKey)})
 	}
-	t.saved[ctx] = ctx.PKRU()
+	t.saved[ctx] = savedState{
+		pkru: ctx.PKRU(),
+		span: telemetry.StartSpan(t.resumeLat, nil, "profiler:resume"),
+	}
 	t.mu.Unlock()
 	// Temporarily switch back to T and single-step the faulting access.
 	ctx.SetPKRU(uint32(mpk.PermitAll))
@@ -172,8 +206,9 @@ func (t *Tracer) onTrap(info *sig.Info, ctx sig.Context) sig.Action {
 		}
 		return sig.Unhandled
 	}
-	ctx.SetPKRU(prev)
+	ctx.SetPKRU(prev.pkru)
 	ctx.SetTrapFlag(false)
+	prev.span.End()
 	if t.ring != nil {
 		t.ring.Emit(trace.Event{Kind: trace.Resume, A: info.Addr})
 	}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("pkrusafe_vm_loads_total", "Loads executed.").Add(12)
+	cv := r.CounterVec("pkrusafe_gate_crossings_total", "Gate traversals.", "direction")
+	cv.With("enter_untrusted").Add(3)
+	cv.With("enter_trusted").Add(3)
+	hv := r.HistogramVec("pkrusafe_gate_latency_ns", "Gate latency.", "ns", "lib")
+	h := hv.With("libsimple")
+	h.Observe(100)
+	h.Observe(200)
+	h.Observe(400)
+	r.Gauge("pkrusafe_heap_bytes_live", "Live bytes.").Set(4096)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	if err := buildRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP pkrusafe_vm_loads_total Loads executed.",
+		"# TYPE pkrusafe_vm_loads_total counter",
+		"pkrusafe_vm_loads_total 12",
+		`pkrusafe_gate_crossings_total{direction="enter_untrusted"} 3`,
+		"# TYPE pkrusafe_gate_latency_ns histogram",
+		`pkrusafe_gate_latency_ns_bucket{lib="libsimple",le="+Inf"} 3`,
+		`pkrusafe_gate_latency_ns_sum{lib="libsimple"} 700`,
+		`pkrusafe_gate_latency_ns_count{lib="libsimple"} 3`,
+		"# TYPE pkrusafe_heap_bytes_live gauge",
+		"pkrusafe_heap_bytes_live 4096",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and non-decreasing.
+	prev := -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "pkrusafe_gate_latency_ns_bucket") {
+			continue
+		}
+		var v int
+		if _, err := fmtSscanLast(line, &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+	}
+}
+
+// fmtSscanLast parses the final space-separated integer field of a line.
+func fmtSscanLast(line string, v *int) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	n := 0
+	for _, c := range line[i+1:] {
+		n = n*10 + int(c-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "", "site").With(`a"b\c`).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{site="a\"b\\c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := buildRegistry().Snapshot().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if got.Schema != SnapshotSchema {
+		t.Fatalf("schema = %d, want %d", got.Schema, SnapshotSchema)
+	}
+	byName := map[string]MetricSnapshot{}
+	for _, m := range got.Metrics {
+		byName[m.Name] = m
+	}
+	if m := byName["pkrusafe_vm_loads_total"]; m.Kind != "counter" || m.Series[0].Value != 12 {
+		t.Fatalf("loads metric = %+v", m)
+	}
+	if m := byName["pkrusafe_gate_latency_ns"]; m.Kind != "histogram" || m.Series[0].Count != 3 || m.Series[0].P50 == 0 {
+		t.Fatalf("latency metric = %+v", m)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable(buildRegistry().Snapshot())
+	for _, want := range []string{
+		"METRIC",
+		"pkrusafe_vm_loads_total",
+		"direction=enter_untrusted",
+		"lib=libsimple",
+		"n=3",
+		"p95=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 1 counter + 2 crossings + 1 histogram + 1 gauge
+	if len(lines) != 6 {
+		t.Fatalf("table has %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestSortSeriesSnapshots(t *testing.T) {
+	ss := []SeriesSnapshot{
+		{LabelValues: []string{"b"}},
+		{LabelValues: []string{"a"}},
+	}
+	sortSeriesSnapshots(ss)
+	if ss[0].LabelValues[0] != "a" {
+		t.Fatalf("not sorted: %+v", ss)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // Kind classifies an event.
@@ -29,6 +30,9 @@ const (
 	// Record: the profiler attributed a fault to an allocation site
 	// (A = object base, Note = AllocId).
 	Record
+	// Span: a telemetry span ended (A = duration in nanoseconds,
+	// Note = span name).
+	Span
 )
 
 func (k Kind) String() string {
@@ -43,6 +47,8 @@ func (k Kind) String() string {
 		return "resume"
 	case Record:
 		return "record"
+	case Span:
+		return "span"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -66,6 +72,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d %-10s addr=%#x pkey=%d", e.Seq, e.Kind, e.A, e.B)
 	case Record:
 		return fmt.Sprintf("#%d %-10s base=%#x site=%s", e.Seq, e.Kind, e.A, e.Note)
+	case Span:
+		return fmt.Sprintf("#%d %-10s %s took=%v", e.Seq, e.Kind, e.Note, time.Duration(e.A))
 	default:
 		return fmt.Sprintf("#%d %-10s addr=%#x", e.Seq, e.Kind, e.A)
 	}
@@ -113,6 +121,18 @@ func (r *Ring) Total() uint64 {
 	return r.next
 }
 
+// Dropped returns the number of events that have been overwritten on
+// wraparound and are no longer retained. It is monotone: once the ring
+// wraps, every further Emit drops the then-oldest event.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := uint64(len(r.buf)); r.next > n {
+		return r.next - n
+	}
+	return 0
+}
+
 // Snapshot returns the retained events, oldest first.
 func (r *Ring) Snapshot() []Event {
 	r.mu.Lock()
@@ -129,8 +149,13 @@ func (r *Ring) Snapshot() []Event {
 	return out
 }
 
-// Dump writes the retained events to w, oldest first.
+// Dump writes the retained events to w, oldest first. If the ring has
+// wrapped, a leading line reports how many earlier events were dropped so
+// a truncated crash dump is never mistaken for the full history.
 func (r *Ring) Dump(w io.Writer) {
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(w, "... %d earlier event(s) dropped (ring capacity %d)\n", d, len(r.buf))
+	}
 	for _, e := range r.Snapshot() {
 		fmt.Fprintln(w, e.String())
 	}

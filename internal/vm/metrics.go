@@ -1,0 +1,38 @@
+package vm
+
+import "repro/internal/telemetry"
+
+// Metrics bundles the registry counters a thread promotes its per-access
+// events into. Individual fields may be nil (their increments are no-ops)
+// and a nil *Metrics disables promotion entirely — the load/store hot
+// path then costs a single pointer test beyond the thread's own atomic
+// counters.
+type Metrics struct {
+	Loads     *telemetry.Counter
+	Stores    *telemetry.Counter
+	PKUFaults *telemetry.Counter
+	MapFaults *telemetry.Counter
+	Traps     *telemetry.Counter
+	WRPKRU    *telemetry.Counter
+}
+
+// NewMetrics registers the thread counter families on reg and returns the
+// bundle. A nil registry yields a nil bundle.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Loads:     reg.Counter("pkrusafe_vm_loads_total", "Completed load accesses."),
+		Stores:    reg.Counter("pkrusafe_vm_stores_total", "Completed store accesses."),
+		PKUFaults: reg.Counter("pkrusafe_vm_pku_faults_total", "SIGSEGV deliveries with SEGV_PKUERR."),
+		MapFaults: reg.Counter("pkrusafe_vm_map_faults_total", "SIGSEGV deliveries with SEGV_MAPERR."),
+		Traps:     reg.Counter("pkrusafe_vm_traps_total", "SIGTRAP deliveries (single-step completions)."),
+		WRPKRU:    reg.Counter("pkrusafe_vm_wrpkru_total", "Writes to the PKRU register."),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) registry promotion to the
+// thread. Call before handing the thread to its running goroutine; the
+// field is not synchronized against in-flight accesses.
+func (t *Thread) SetMetrics(m *Metrics) { t.metrics = m }

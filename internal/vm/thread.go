@@ -49,6 +49,10 @@ type Thread struct {
 	mapFaults atomic.Uint64
 	traps     atomic.Uint64
 	wrpkru    atomic.Uint64
+
+	// metrics, when non-nil, mirrors the counters above into the
+	// process-wide telemetry registry (see metrics.go).
+	metrics *Metrics
 }
 
 // NewThread creates a thread on the given address space. The signal table
@@ -75,6 +79,9 @@ func (t *Thread) PKRU() uint32 { return t.pkru.Load() }
 func (t *Thread) SetPKRU(v uint32) {
 	t.pkru.Store(v)
 	t.wrpkru.Add(1)
+	if m := t.metrics; m != nil {
+		m.WRPKRU.Inc()
+	}
 }
 
 // Rights returns the rights register as an mpk.PKRU value.
@@ -122,13 +129,22 @@ func (t *Thread) access(addr Addr, buf []byte, kind sig.AccessKind) error {
 	}
 	if kind == sig.AccessWrite {
 		t.stores.Add(1)
+		if m := t.metrics; m != nil {
+			m.Stores.Inc()
+		}
 	} else {
 		t.loads.Add(1)
+		if m := t.metrics; m != nil {
+			m.Loads.Inc()
+		}
 	}
 	// Single-step: with the trap flag armed, raise SIGTRAP once the access
 	// retires so the profiler can restore the pre-fault rights (§4.3.2).
 	if t.trap.Load() {
 		t.traps.Add(1)
+		if m := t.metrics; m != nil {
+			m.Traps.Inc()
+		}
 		info := &sig.Info{Sig: sig.SIGTRAP, Addr: uint64(addr), Access: kind}
 		if t.sigs.Dispatch(info, t) == sig.Unhandled {
 			t.trap.Store(false)
@@ -139,8 +155,18 @@ func (t *Thread) access(addr Addr, buf []byte, kind sig.AccessKind) error {
 }
 
 // checkPage resolves the page for a, delivering SIGSEGV and retrying while
-// a handler repairs the condition.
+// a handler repairs the condition. The common no-fault case is decided
+// here without constructing a sig.Info — that struct is passed to handlers
+// by pointer and therefore heap-escapes, which would cost an allocation on
+// every access.
 func (t *Thread) checkPage(a Addr, kind sig.AccessKind) (*page, error) {
+	if p := t.space.pageAt(a); p != nil && t.allowed(p.pkey, kind) {
+		return p, nil
+	}
+	return t.checkPageSlow(a, kind)
+}
+
+func (t *Thread) checkPageSlow(a Addr, kind sig.AccessKind) (*page, error) {
 	for try := 0; ; try++ {
 		p := t.space.pageAt(a)
 		var info sig.Info
@@ -148,9 +174,15 @@ func (t *Thread) checkPage(a Addr, kind sig.AccessKind) (*page, error) {
 		case p == nil:
 			info = sig.Info{Sig: sig.SIGSEGV, Code: sig.CodeMapErr, Addr: uint64(a), Access: kind}
 			t.mapFaults.Add(1)
+			if m := t.metrics; m != nil {
+				m.MapFaults.Inc()
+			}
 		case !t.allowed(p.pkey, kind):
 			info = sig.Info{Sig: sig.SIGSEGV, Code: sig.CodePKUErr, Addr: uint64(a), Access: kind, PKey: uint8(p.pkey)}
 			t.pkuFaults.Add(1)
+			if m := t.metrics; m != nil {
+				m.PKUFaults.Inc()
+			}
 		default:
 			return p, nil
 		}

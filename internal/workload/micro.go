@@ -24,11 +24,12 @@ type MicroWorld struct {
 }
 
 // NewMicroWorld builds the mpk-configuration program the paper measures
-// call gates in.
-func NewMicroWorld() (*MicroWorld, error) {
+// call gates in. Options (telemetry, gate cost, tracing) pass through to
+// core.NewProgram.
+func NewMicroWorld(opts ...core.Options) (*MicroWorld, error) {
 	reg := ffi.NewRegistry()
 	defineMicroFuncs(reg)
-	prog, err := core.NewProgram(reg, core.MPK, profile.New())
+	prog, err := core.NewProgram(reg, core.MPK, profile.New(), opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repository gate: formatting, vet, build, and the full test suite under
+# the race detector. Run via `make check` or directly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt drift in:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+echo "check: OK"
