@@ -1,11 +1,15 @@
 package repro
 
 import (
+	"bufio"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTool compiles one command into a test temp dir and returns its path.
@@ -149,6 +153,175 @@ func TestCLIProfileTools(t *testing.T) {
 	// Subset direction exits zero.
 	if out, err := exec.Command(profTool, "diff", dyn, merged).CombinedOutput(); err != nil {
 		t.Errorf("subset diff should pass: %v\n%s", err, out)
+	}
+}
+
+// TestCLICrashReport drives the black-box path: an unprofiled mpk run of
+// the quickstart program dies on a pkey violation, and the binary must
+// leave behind both the human-readable report on stderr and, with
+// -crash-json, the schema-versioned JSON with every forensic field filled.
+func TestCLICrashReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pkrusafe := buildTool(t, "pkrusafe")
+	crash := filepath.Join(t.TempDir(), "crash.json")
+
+	out, err := exec.Command(pkrusafe, "run", "examples/pkir/quickstart.pkir", "-crash-json", crash).CombinedOutput()
+	if err == nil {
+		t.Fatalf("unprofiled run should exit nonzero:\n%s", out)
+	}
+	for _, want := range []string{
+		"program crashed",
+		"PKRU-safe crash report",
+		"SEGV_PKUERR",
+		"<- faulting key",
+		"site=main@0.0",
+		"compartment: untrusted (gate depth 1)",
+		"pages around fault:",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("crash text missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(crash)
+	if err != nil {
+		t.Fatalf("crash JSON not written: %v", err)
+	}
+	var rep struct {
+		Schema int `json:"schema"`
+		Fault  struct {
+			Code string `json:"code"`
+			PKey uint8  `json:"pkey"`
+		} `json:"fault"`
+		PKRU struct {
+			Keys []struct {
+				Key uint8 `json:"key"`
+				AD  bool  `json:"ad"`
+				WD  bool  `json:"wd"`
+			} `json:"keys"`
+		} `json:"pkru"`
+		Pages []struct {
+			Faulting bool  `json:"faulting"`
+			PKey     uint8 `json:"pkey"`
+		} `json:"pages"`
+		Provenance struct {
+			Found bool   `json:"found"`
+			Site  string `json:"site"`
+		} `json:"provenance"`
+		Trace struct {
+			Events []struct {
+				Kind string `json:"kind"`
+			} `json:"events"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("crash JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != 1 {
+		t.Errorf("schema = %d, want 1", rep.Schema)
+	}
+	if rep.Fault.Code != "SEGV_PKUERR" || rep.Fault.PKey != 1 {
+		t.Errorf("fault = %+v, want SEGV_PKUERR on pkey 1", rep.Fault)
+	}
+	if len(rep.PKRU.Keys) != 16 {
+		t.Fatalf("decoded %d pkru keys, want 16", len(rep.PKRU.Keys))
+	}
+	if k := rep.PKRU.Keys[1]; !k.AD || !k.WD {
+		t.Errorf("pkey 1 rights = %+v, want ad and wd set", k)
+	}
+	var sawFaultingPage bool
+	for _, p := range rep.Pages {
+		if p.Faulting {
+			sawFaultingPage = true
+			if p.PKey != 1 {
+				t.Errorf("faulting page pkey = %d, want 1", p.PKey)
+			}
+		}
+	}
+	if !sawFaultingPage {
+		t.Error("no faulting page in JSON page map")
+	}
+	if !rep.Provenance.Found || rep.Provenance.Site != "main@0.0" {
+		t.Errorf("provenance = %+v, want site main@0.0", rep.Provenance)
+	}
+	if len(rep.Trace.Events) == 0 {
+		t.Error("trace tail empty in JSON report")
+	}
+}
+
+// TestCLIListen verifies the live observability plane against a running
+// workload: a spinning program keeps the interpreter busy while the test
+// hits every endpoint on the address the binary announces, then the
+// process is killed.
+func TestCLIListen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pkrusafe := buildTool(t, "pkrusafe")
+	spin := filepath.Join(t.TempDir(), "spin.pkir")
+	const spinSrc = `module spin
+
+export func main() {
+entry:
+  jmp loop
+loop:
+  jmp loop
+}
+`
+	if err := os.WriteFile(spin, []byte(spinSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(pkrusafe, "run", spin, "-listen", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	// The binary announces the bound address before the workload starts.
+	var base string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "observability server on "); i >= 0 {
+			base = strings.TrimSpace(line[i+len("observability server on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("server address never announced (scanner err %v)", sc.Err())
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for path, want := range map[string]string{
+		"/healthz":             "ok",
+		"/metrics":             "# TYPE",
+		"/snapshot.json":       `"schema"`,
+		"/trace":               "",
+		"/debug/pprof/cmdline": "pkrusafe",
+	} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(string(body[:n]), want) {
+			t.Errorf("GET %s body missing %q:\n%s", path, want, body[:n])
+		}
 	}
 }
 

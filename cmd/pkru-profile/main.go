@@ -9,24 +9,67 @@
 //
 // A non-empty diff against the deployed profile is exactly the situation
 // §6 warns about: flows the corpus missed will crash the enforced build.
+//
+// Every subcommand accepts -metrics / -metrics-json to export telemetry
+// about the processed profiles (profiles loaded, sites seen/merged/
+// missing, fault and byte totals) in Prometheus text or JSON form, for
+// parity with pkrusafe and pkru-bench; "-" writes to stdout. Flags may
+// appear anywhere on the command line.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
+
+// tool bundles the telemetry the profile operations report into.
+type tool struct {
+	reg          *telemetry.Registry
+	loaded       *telemetry.Counter
+	sitesSeen    *telemetry.Counter
+	faultsSeen   *telemetry.Counter
+	bytesSeen    *telemetry.Counter
+	sitesMerged  *telemetry.Counter
+	sitesMissing *telemetry.Counter
+}
+
+func newTool() *tool {
+	reg := telemetry.NewRegistry()
+	return &tool{
+		reg:          reg,
+		loaded:       reg.Counter("pkruprofile_profiles_loaded_total", "Profile files read."),
+		sitesSeen:    reg.Counter("pkruprofile_sites_seen_total", "Shared allocation sites across all loaded profiles."),
+		faultsSeen:   reg.Counter("pkruprofile_faults_seen_total", "Recorded faults across all loaded profiles."),
+		bytesSeen:    reg.Counter("pkruprofile_bytes_seen_total", "Recorded bytes across all loaded profiles."),
+		sitesMerged:  reg.Counter("pkruprofile_sites_merged_total", "Distinct sites in the merged output profile."),
+		sitesMissing: reg.Counter("pkruprofile_sites_missing_total", "Sites the diff found missing from the second profile."),
+	}
+}
 
 func main() {
 	if len(os.Args) < 3 {
 		usage()
 	}
 	cmd := os.Args[1]
+	args := os.Args[2:]
+	var metrics, metricsJSON string
+	args = stripFlag(args, "-metrics", &metrics)
+	args = stripFlag(args, "-metrics-json", &metricsJSON)
+
+	tl := newTool()
+	status := 0
 	switch cmd {
 	case "show":
-		p := load(os.Args[2])
+		if len(args) < 1 {
+			usage()
+		}
+		p := tl.load(args[0])
 		fmt.Printf("%d shared allocation site(s)\n", p.Len())
 		for _, id := range p.IDs() {
 			rec, _ := p.Get(id)
@@ -34,64 +77,103 @@ func main() {
 		}
 
 	case "merge":
-		var inputs []string
-		out := ""
-		args := os.Args[2:]
-		for i := 0; i < len(args); i++ {
-			if args[i] == "-o" && i+1 < len(args) {
-				out = args[i+1]
-				i++
-				continue
-			}
-			inputs = append(inputs, args[i])
-		}
+		var out string
+		inputs := stripFlag(args, "-o", &out)
 		if len(inputs) == 0 || out == "" {
 			usage()
 		}
 		merged := profile.New()
 		for _, in := range inputs {
-			merged.Merge(load(in))
+			merged.Merge(tl.load(in))
 		}
+		tl.sitesMerged.Add(uint64(merged.Len()))
 		data, err := json.MarshalIndent(merged, "", "  ")
 		exitOn(err)
 		exitOn(os.WriteFile(out, data, 0o644))
 		fmt.Printf("merged %d profile(s): %d shared sites -> %s\n", len(inputs), merged.Len(), out)
 
 	case "diff":
-		if len(os.Args) < 4 {
+		if len(args) < 2 {
 			usage()
 		}
-		a, b := load(os.Args[2]), load(os.Args[3])
+		a, b := tl.load(args[0]), tl.load(args[1])
 		onlyA := a.Diff(b)
+		tl.sitesMissing.Add(uint64(len(onlyA)))
 		if len(onlyA) == 0 {
-			fmt.Printf("%s ⊆ %s: every site covered\n", os.Args[2], os.Args[3])
-			return
+			fmt.Printf("%s ⊆ %s: every site covered\n", args[0], args[1])
+		} else {
+			fmt.Printf("%d site(s) in %s missing from %s (enforced builds using the latter would crash on these):\n",
+				len(onlyA), args[0], args[1])
+			for _, id := range onlyA {
+				fmt.Printf("  %s\n", id)
+			}
+			status = 1
 		}
-		fmt.Printf("%d site(s) in %s missing from %s (enforced builds using the latter would crash on these):\n",
-			len(onlyA), os.Args[2], os.Args[3])
-		for _, id := range onlyA {
-			fmt.Printf("  %s\n", id)
-		}
-		os.Exit(1)
 
 	default:
 		usage()
 	}
+
+	if metrics != "" {
+		writeTo(metrics, tl.reg.WritePrometheus)
+	}
+	if metricsJSON != "" {
+		writeTo(metricsJSON, tl.reg.Snapshot().WriteJSON)
+	}
+	os.Exit(status)
 }
 
-func load(path string) *profile.Profile {
+// stripFlag removes "name value" from args wherever it appears (matching
+// the historical anywhere-on-the-line parsing) and stores the value.
+func stripFlag(args []string, name string, value *string) []string {
+	out := args[:0:0]
+	for i := 0; i < len(args); i++ {
+		if args[i] == name && i+1 < len(args) {
+			*value = args[i+1]
+			i++
+			continue
+		}
+		out = append(out, args[i])
+	}
+	return out
+}
+
+func (t *tool) load(path string) *profile.Profile {
 	data, err := os.ReadFile(path)
 	exitOn(err)
 	p := profile.New()
 	exitOn(json.Unmarshal(data, p))
+	t.loaded.Inc()
+	t.sitesSeen.Add(uint64(p.Len()))
+	for _, id := range p.IDs() {
+		rec, _ := p.Get(id)
+		t.faultsSeen.Add(rec.Faults)
+		t.bytesSeen.Add(rec.Bytes)
+	}
 	return p
+}
+
+// writeTo writes via f to path, with "-" meaning stdout. File output is
+// buffered so a failed export never leaves a truncated file behind.
+func writeTo(path string, f func(io.Writer) error) {
+	if path == "-" {
+		exitOn(f(os.Stdout))
+		return
+	}
+	var buf bytes.Buffer
+	exitOn(f(&buf))
+	exitOn(os.WriteFile(path, buf.Bytes(), 0o644))
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pkru-profile show  <a.prof>
   pkru-profile merge <a.prof> [b.prof ...] -o <out.prof>
-  pkru-profile diff  <a.prof> <b.prof>`)
+  pkru-profile diff  <a.prof> <b.prof>
+
+flags (any subcommand, anywhere on the line):
+  -metrics <path>       write Prometheus metrics ("-" = stdout)
+  -metrics-json <path>  write a JSON metrics snapshot ("-" = stdout)`)
 	os.Exit(2)
 }
 

@@ -6,17 +6,28 @@
 //	pkru-servo -config mpk -html page.html -script app.js -profile app.prof
 //
 // Without -html/-script a built-in demo page and script are used.
+//
+// -metrics / -metrics-json export the run's telemetry in Prometheus text
+// or JSON form ("-" = stdout); -listen serves the live observability
+// endpoints (/metrics, /snapshot.json, /trace, /healthz, /debug/pprof)
+// while the workload runs. If the script dies on an MPK violation the
+// crash report is printed to stderr before exit 1.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/browser"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 const demoHTML = `
@@ -41,12 +52,18 @@ const demoScript = `
 	childCount(byId("items"));
 `
 
+// traceCap sizes the runtime event ring backing /trace and crash reports.
+const traceCap = 256
+
 func main() {
 	cfgName := flag.String("config", "mpk", "base|alloc|mpk|profiling")
 	htmlPath := flag.String("html", "", "HTML file to load (default: built-in demo)")
 	scriptPath := flag.String("script", "", "script file to run (default: built-in demo)")
 	profileIn := flag.String("profile", "", "profile JSON consumed by alloc/mpk builds")
 	profileOut := flag.String("profile-out", "", "profile JSON written by a profiling build")
+	metrics := flag.String("metrics", "", `write Prometheus metrics to this path ("-" = stdout)`)
+	metricsJSON := flag.String("metrics-json", "", `write a JSON metrics snapshot to this path ("-" = stdout)`)
+	listen := flag.String("listen", "", "serve /metrics, /snapshot.json, /trace, /healthz and /debug/pprof on this address while running")
 	flag.Parse()
 
 	html, script := demoHTML, demoScript
@@ -99,16 +116,55 @@ func main() {
 		}
 	}
 
-	b, err := browser.New(cfg, prof, browser.Options{ScriptOutput: os.Stdout})
+	opts := browser.Options{
+		ScriptOutput: os.Stdout,
+		Trace:        trace.NewRing(traceCap),
+		Forensics:    true,
+	}
+	var reg *telemetry.Registry
+	if *metrics != "" || *metricsJSON != "" || *listen != "" {
+		reg = telemetry.NewRegistry()
+		opts.Telemetry = reg
+	}
+
+	b, err := browser.New(cfg, prof, opts)
 	exitOn(err)
-	exitOn(b.LoadHTML(html))
+
+	var srv *obs.Server
+	if *listen != "" {
+		srv, err = obs.ListenAndServe(*listen, obs.ServerConfig{Registry: reg, Ring: opts.Trace})
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "pkru-servo: observability server on %s\n", srv.URL())
+	}
+
+	crashOn := func(err error) {
+		if err == nil {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "pkru-servo:", err)
+		if rep, ok := b.Prog.Forensics().Capture(err); ok {
+			_ = rep.WriteText(os.Stderr)
+		}
+		closeServer(srv)
+		os.Exit(1)
+	}
+	crashOn(b.LoadHTML(html))
 	result, err := b.ExecScript(script)
-	exitOn(err)
+	crashOn(err)
 	fmt.Printf("script result: %g\n", result)
 
 	st := b.Stats()
 	fmt.Printf("config=%v transitions=%d dom-ops=%d sites=%d shared-sites=%d %%MU=%.2f%%\n",
 		cfg, st.Transitions, st.DOMOps, st.TotalSites, st.UntrustedSites, 100*st.UntrustedShare)
+
+	if reg != nil {
+		if *metrics != "" {
+			writeTo(*metrics, reg.WritePrometheus)
+		}
+		if *metricsJSON != "" {
+			writeTo(*metricsJSON, reg.Snapshot().WriteJSON)
+		}
+	}
 
 	if cfg == core.Profiling && *profileOut != "" {
 		p, err := b.Prog.RecordedProfile()
@@ -117,6 +173,26 @@ func main() {
 		exitOn(err)
 		exitOn(os.WriteFile(*profileOut, data, 0o644))
 		fmt.Printf("profile with %d shared sites written to %s\n", p.Len(), *profileOut)
+	}
+	closeServer(srv)
+}
+
+// writeTo writes via f to path, with "-" meaning stdout. File output is
+// buffered so a failed export never leaves a truncated file behind.
+func writeTo(path string, f func(io.Writer) error) {
+	if path == "-" {
+		exitOn(f(os.Stdout))
+		return
+	}
+	var buf bytes.Buffer
+	exitOn(f(&buf))
+	exitOn(os.WriteFile(path, buf.Bytes(), 0o644))
+}
+
+// closeServer drains the observability server before exit (nil-safe).
+func closeServer(srv *obs.Server) {
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pkru-servo: observability server:", err)
 	}
 }
 

@@ -15,6 +15,14 @@
 // Prometheus text or JSON form; "-" writes to stdout. Metrics are written
 // even when the program crashes, so a missed-profile fault still leaves
 // its counters behind for debugging.
+//
+// -listen serves the live observability endpoints (/metrics,
+// /snapshot.json, /trace, /healthz, /debug/pprof) while the program runs.
+// When an enforced run dies on an MPK violation, a forensic crash report
+// — decoded PKRU bits, the faulting page's protection key, the owning
+// allocation site and the trailing trace events — is printed to stderr,
+// and -crash-json additionally writes it as schema-versioned JSON. See
+// docs/observability.md.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"repro/internal/ffi"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/pkir"
 	"repro/internal/profile"
 	"repro/internal/static"
@@ -47,6 +56,8 @@ type options struct {
 	traceN      int
 	metrics     string
 	metricsJSON string
+	listen      string
+	crashJSON   string
 	jsonOut     bool
 }
 
@@ -72,6 +83,8 @@ func (o *options) runFlags(fs *flag.FlagSet) {
 	fs.IntVar(&o.traceN, "trace", 0, "keep the last N runtime events and dump them on crash")
 	fs.StringVar(&o.metrics, "metrics", "", `write Prometheus metrics to this path ("-" = stdout)`)
 	fs.StringVar(&o.metricsJSON, "metrics-json", "", `write a JSON metrics snapshot to this path ("-" = stdout)`)
+	fs.StringVar(&o.listen, "listen", "", "serve /metrics, /snapshot.json, /trace, /healthz and /debug/pprof on this address while running")
+	fs.StringVar(&o.crashJSON, "crash-json", "", `write a JSON crash report to this path if the run dies on a fault ("-" = stdout)`)
 }
 
 // command is one subcommand. The usage text is generated from this table
@@ -287,20 +300,31 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 	_, err := compile.Pipeline(mod, applied)
 	exitOn(err)
 
-	var opts core.Options
-	var ring *trace.Ring
-	if o.traceN > 0 {
-		ring = trace.NewRing(o.traceN)
-		opts.Trace = ring
+	// The crash-report ring: always attached so a fatal fault carries its
+	// trailing events even without -trace. An explicit -trace N sizes the
+	// ring and additionally dumps it on crash, as before.
+	ringCap := o.traceN
+	if ringCap <= 0 {
+		ringCap = defaultCrashRing
 	}
+	ring := trace.NewRing(ringCap)
+	opts := core.Options{Trace: ring, Forensics: true}
 	var reg *telemetry.Registry
-	if table || o.metrics != "" || o.metricsJSON != "" {
+	if table || o.metrics != "" || o.metricsJSON != "" || o.listen != "" {
 		reg = telemetry.NewRegistry()
 		opts.Telemetry = reg
 	}
 
 	prog, err := core.NewProgram(ffi.NewRegistry(), cfg, applied, opts)
 	exitOn(err)
+
+	var srv *obs.Server
+	if o.listen != "" {
+		srv, err = obs.ListenAndServe(o.listen, obs.ServerConfig{Registry: reg, Ring: ring})
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "pkrusafe: observability server on %s\n", srv.URL())
+	}
+
 	m, err := interp.New(mod, prog, interp.Options{Output: os.Stdout})
 	exitOn(err)
 	res, runErr := m.Run(o.entry)
@@ -310,13 +334,32 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 	emitTelemetry(o, reg, table)
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "pkrusafe: program crashed: %v\n", runErr)
-		if ring != nil {
+		if rep, ok := prog.Forensics().Capture(runErr); ok {
+			exitOn(rep.WriteText(os.Stderr))
+			if o.crashJSON != "" {
+				writeTo(o.crashJSON, rep.WriteJSON)
+			}
+		}
+		if o.traceN > 0 {
 			fmt.Fprintf(os.Stderr, "pkrusafe: last %d runtime event(s) before death:\n", ring.Len())
 			ring.Dump(os.Stderr)
 		}
+		closeServer(srv)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "pkrusafe: %v run returned %v (%d transitions)\n", cfg, res, prog.Transitions())
+	closeServer(srv)
+}
+
+// defaultCrashRing is the trace-ring capacity used when -trace is unset:
+// enough tail for a crash report's forensics without meaningful memory.
+const defaultCrashRing = 64
+
+// closeServer drains the observability server before exit (nil-safe).
+func closeServer(srv *obs.Server) {
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pkrusafe: observability server:", err)
+	}
 }
 
 func emitTelemetry(o *options, reg *telemetry.Registry, table bool) {

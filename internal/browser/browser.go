@@ -13,6 +13,7 @@ import (
 	"repro/internal/mpk"
 	"repro/internal/profile"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -58,6 +59,13 @@ type Options struct {
 	// Telemetry, when non-nil, attaches the whole stack — program, gates,
 	// allocator, DOM and per-subsystem rollups — to the metrics registry.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, records gate traversals and fault handling
+	// into the ring for live /trace serving and post-mortem dumps.
+	Trace *trace.Ring
+	// Forensics attaches a fault forensics recorder to the program so a
+	// fatal MPK violation can be rendered as a crash report (see
+	// Browser.Prog.Forensics).
+	Forensics bool
 }
 
 // New builds a browser under the given configuration. Alloc and MPK
@@ -72,7 +80,11 @@ func New(cfg core.BuildConfig, prof *profile.Profile, opts ...Options) (*Browser
 	if err := eng.Install(reg, jsengine.DefaultLib); err != nil {
 		return nil, err
 	}
-	prog, err := core.NewProgram(reg, cfg, prof, core.Options{Telemetry: opt.Telemetry})
+	prog, err := core.NewProgram(reg, cfg, prof, core.Options{
+		Telemetry: opt.Telemetry,
+		Trace:     opt.Trace,
+		Forensics: opt.Forensics,
+	})
 	if err != nil {
 		return nil, err
 	}

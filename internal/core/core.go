@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/ffi"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/pkalloc"
 	"repro/internal/profile"
 	"repro/internal/provenance"
@@ -109,6 +110,7 @@ type Program struct {
 	sigs    *sig.Table
 	runtime *ffi.Runtime
 	tracer  *provenance.Tracer
+	rec     *obs.Recorder    // fault forensics, nil unless Options.Forensics
 	applied *profile.Profile // profile consumed by Alloc/MPK builds
 
 	mu    sync.Mutex
@@ -155,6 +157,10 @@ type Options struct {
 	// access/fault counters, gate crossings and latencies, allocation
 	// sites, heap gauges, the profiler — to the metrics registry.
 	Telemetry *telemetry.Registry
+	// Forensics attaches an obs.Recorder that shadows allocation sites
+	// and observes fault delivery so a fatal MPK violation can be turned
+	// into a structured crash report (Program.Forensics().Capture).
+	Forensics bool
 }
 
 // NewProgram builds a program from annotated libraries under the given
@@ -201,6 +207,20 @@ func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts 
 	if opt.Telemetry != nil {
 		p.attachTelemetry(opt.Telemetry)
 	}
+	if opt.Forensics {
+		// The recorder keeps its own metadata store: Options.Store is the
+		// profiler's, and sharing one instance across the tracer's and the
+		// recorder's locks would race.
+		p.rec = obs.NewRecorder(obs.Config{
+			Space:       space,
+			TrustedKey:  alloc.TrustedKey(),
+			BuildConfig: cfg.String(),
+			Ring:        opt.Trace,
+		})
+		// Installed before the tracer so repairing handlers dispatch
+		// first; the recorder only observes faults nothing else claims.
+		p.rec.Install(sigs)
+	}
 	if cfg == Profiling {
 		p.tracer = provenance.NewTracer(opt.Store, profile.New(), alloc.TrustedKey())
 		if opt.Trace != nil {
@@ -214,8 +234,23 @@ func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts 
 		p.tracer.Install(sigs)
 	}
 	p.main = p.runtime.NewThread()
+	p.bindForensics(p.main)
 	return p, nil
 }
+
+// bindForensics associates a thread's fault-delivery context with its
+// compartment view so crash reports can name the active compartment.
+func (p *Program) bindForensics(t *ffi.Thread) {
+	if p.rec != nil {
+		p.rec.BindThread(t.VM, threadState{t})
+	}
+}
+
+// threadState adapts an ffi.Thread to the recorder's view of it.
+type threadState struct{ t *ffi.Thread }
+
+func (s threadState) CompartmentName() string { return s.t.CurrentTrust().String() }
+func (s threadState) GateDepth() int          { return s.t.Depth() }
 
 // attachTelemetry registers the program's metric families on reg and wires
 // the runtime (threads minted afterwards inherit VM counter promotion).
@@ -290,10 +325,18 @@ func (p *Program) Runtime() *ffi.Runtime { return p.runtime }
 func (p *Program) Main() *ffi.Thread { return p.main }
 
 // NewThread mints an additional execution context.
-func (p *Program) NewThread() *ffi.Thread { return p.runtime.NewThread() }
+func (p *Program) NewThread() *ffi.Thread {
+	t := p.runtime.NewThread()
+	p.bindForensics(t)
+	return t
+}
 
 // Tracer returns the provenance tracer (Profiling builds only, else nil).
 func (p *Program) Tracer() *provenance.Tracer { return p.tracer }
+
+// Forensics returns the fault forensics recorder, or nil when the build
+// was created without Options.Forensics. The nil recorder is safe to use.
+func (p *Program) Forensics() *obs.Recorder { return p.rec }
 
 // RecordedProfile returns the profile collected by a Profiling build.
 func (p *Program) RecordedProfile() (*profile.Profile, error) {
@@ -358,6 +401,7 @@ func (p *Program) AllocAt(s *Site, size uint64) (vm.Addr, error) {
 	if p.tracer != nil && s.Pool == pkalloc.Trusted {
 		p.tracer.LogAlloc(uint64(addr), size, s.ID)
 	}
+	p.rec.LogAlloc(uint64(addr), size, s.ID)
 	return addr, nil
 }
 
@@ -371,6 +415,7 @@ func (p *Program) Realloc(addr vm.Addr, newSize uint64) (vm.Addr, error) {
 	if p.tracer != nil {
 		p.tracer.LogRealloc(uint64(addr), uint64(newAddr), newSize)
 	}
+	p.rec.LogRealloc(uint64(addr), uint64(newAddr), newSize)
 	return newAddr, nil
 }
 
@@ -379,6 +424,7 @@ func (p *Program) Free(addr vm.Addr) error {
 	if p.tracer != nil {
 		p.tracer.LogDealloc(uint64(addr))
 	}
+	p.rec.LogDealloc(uint64(addr))
 	if tel := p.tel; tel != nil {
 		pool, _ := p.alloc.CompartmentOf(addr)
 		sp := telemetry.StartSpan(tel.freeLat[pool], nil, "heap:free")

@@ -1,0 +1,216 @@
+// Package obs is the observability plane of the PKRU-Safe reproduction:
+// a fault forensics recorder that turns a fatal MPK violation into a
+// structured "black box" crash report, and a live HTTP server exposing
+// the runtime's metrics, trace ring and profiling endpoints while a
+// workload runs (see server.go).
+//
+// The paper's whole debugging story for enforced builds (§6) is
+// interpreting protection-key faults: a crash in an mpk build means the
+// profiling corpus missed a flow. The crash report answers the questions
+// that diagnosis needs — which access faulted, under which PKRU rights,
+// against a page owned by which key and region, hitting an object from
+// which allocation site, after which boundary crossings — without
+// re-running anything.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// ReportSchema versions the crash-report JSON layout. Bump it when the
+// shape of Report or its nested types changes incompatibly.
+const ReportSchema = 1
+
+// Report is one structured crash report, produced by Recorder.Capture
+// from the fault that killed a run.
+type Report struct {
+	Schema      int             `json:"schema"`
+	Config      string          `json:"config,omitempty"` // build configuration of the run
+	Error       string          `json:"error"`            // the error that propagated out
+	Fault       FaultInfo       `json:"fault"`
+	PKRU        PKRUInfo        `json:"pkru"`
+	Compartment CompartmentInfo `json:"compartment"`
+	Pages       []PageInfo      `json:"pages"`   // pkey ownership around the faulting address
+	Regions     []RegionInfo    `json:"regions"` // every reservation in the address space
+	Provenance  ProvenanceInfo  `json:"provenance"`
+	Trace       TraceInfo       `json:"trace"`
+}
+
+// FaultInfo is the siginfo-equivalent view of the fatal fault.
+type FaultInfo struct {
+	Signal string `json:"signal"` // "SIGSEGV"
+	Code   string `json:"code"`   // "SEGV_PKUERR", "SEGV_MAPERR", "SEGV_ACCERR"
+	Addr   string `json:"addr"`   // faulting address, hex
+	Access string `json:"access"` // "read" or "write"
+	PKey   uint8  `json:"pkey"`   // protection key of the faulting page (PKUERR only)
+}
+
+// KeyRights is one protection key's decoded AD/WD bits from the PKRU
+// value at fault time.
+type KeyRights struct {
+	Key    uint8  `json:"key"`
+	AD     bool   `json:"ad"`     // access-disable bit set
+	WD     bool   `json:"wd"`     // write-disable bit set
+	Rights string `json:"rights"` // "rw", "r-" or "--"
+}
+
+// PKRUInfo is the thread's rights register at fault time, decoded per key.
+type PKRUInfo struct {
+	Value string      `json:"value"` // raw register, hex
+	Keys  []KeyRights `json:"keys"`  // all sixteen keys
+}
+
+// CompartmentInfo reports whose code was logically executing when the
+// fault was delivered, captured by the recorder's signal handler while
+// the thread's gate stack was still intact.
+type CompartmentInfo struct {
+	Known     bool   `json:"known"`
+	Name      string `json:"name,omitempty"`       // "trusted" or "untrusted"
+	GateDepth int    `json:"gate_depth,omitempty"` // live gate traversals on the thread
+}
+
+// PageInfo describes one page near the faulting address.
+type PageInfo struct {
+	Base     string `json:"base"` // page base address, hex
+	Faulting bool   `json:"faulting,omitempty"`
+	Reserved bool   `json:"reserved"`
+	Resident bool   `json:"resident,omitempty"`
+	PKey     uint8  `json:"pkey,omitempty"` // meaningful only when Reserved
+	Region   string `json:"region,omitempty"`
+}
+
+// RegionInfo describes one address-space reservation.
+type RegionInfo struct {
+	Name string `json:"name"`
+	Base string `json:"base"` // hex
+	Size uint64 `json:"size"`
+	PKey uint8  `json:"pkey"`
+}
+
+// ProvenanceInfo attributes the faulted object to its allocation site,
+// resolved through the same interior-pointer metadata the profiler uses.
+type ProvenanceInfo struct {
+	Found       bool   `json:"found"`
+	Site        string `json:"site,omitempty"`   // allocation site id ("func@block.site")
+	Base        string `json:"base,omitempty"`   // object base, hex
+	Size        uint64 `json:"size,omitempty"`   // object size in bytes
+	Offset      uint64 `json:"offset,omitempty"` // faulting address - base
+	LiveObjects int    `json:"live_objects"`     // tracked objects at fault time
+}
+
+// TraceEvent is one retained ring event.
+type TraceEvent struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	Text string `json:"text"`
+}
+
+// TraceInfo is the tail of the runtime event ring at capture time.
+type TraceInfo struct {
+	Dropped uint64       `json:"dropped"` // events overwritten before capture
+	Events  []TraceEvent `json:"events"`  // oldest first
+}
+
+func hexAddr(a uint64) string { return fmt.Sprintf("%#x", a) }
+
+// traceInfo converts a ring snapshot into the report form.
+func traceInfo(events []trace.Event, dropped uint64) TraceInfo {
+	ti := TraceInfo{Dropped: dropped}
+	for _, e := range events {
+		ti.Events = append(ti.Events, TraceEvent{Seq: e.Seq, Kind: e.Kind.String(), Text: e.String()})
+	}
+	return ti
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the human-readable form of the report — what the CLI
+// prints to stderr before exiting 1.
+func (r *Report) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== PKRU-safe crash report (schema %d) ==\n", r.Schema)
+	if r.Config != "" {
+		fmt.Fprintf(&b, "config:      %s\n", r.Config)
+	}
+	fmt.Fprintf(&b, "error:       %s\n", r.Error)
+	f := r.Fault
+	fmt.Fprintf(&b, "fault:       %s %s %s at %s", f.Signal, f.Code, f.Access, f.Addr)
+	if f.Code == "SEGV_PKUERR" {
+		fmt.Fprintf(&b, " (page pkey %d)", f.PKey)
+	}
+	b.WriteByte('\n')
+	if r.Compartment.Known {
+		fmt.Fprintf(&b, "compartment: %s (gate depth %d)\n", r.Compartment.Name, r.Compartment.GateDepth)
+	} else {
+		b.WriteString("compartment: unknown (fault not observed by the recorder's handler)\n")
+	}
+
+	fmt.Fprintf(&b, "pkru:        %s\n", r.PKRU.Value)
+	for _, k := range r.PKRU.Keys {
+		mark := ""
+		if f.Code == "SEGV_PKUERR" && k.Key == f.PKey {
+			mark = "   <- faulting key"
+		}
+		fmt.Fprintf(&b, "  key %2d: %s (ad=%s wd=%s)%s\n", k.Key, k.Rights, bit(k.AD), bit(k.WD), mark)
+	}
+
+	p := r.Provenance
+	if p.Found {
+		fmt.Fprintf(&b, "faulted object: site=%s base=%s size=%d offset=+%d (%d live object(s) tracked)\n",
+			p.Site, p.Base, p.Size, p.Offset, p.LiveObjects)
+	} else {
+		fmt.Fprintf(&b, "faulted object: no owning allocation site (%d live object(s) tracked)\n", p.LiveObjects)
+	}
+
+	if len(r.Pages) > 0 {
+		b.WriteString("pages around fault:\n")
+		for _, pg := range r.Pages {
+			mark := " "
+			if pg.Faulting {
+				mark = ">"
+			}
+			switch {
+			case !pg.Reserved:
+				fmt.Fprintf(&b, "%s %s  unmapped\n", mark, pg.Base)
+			case pg.Resident:
+				fmt.Fprintf(&b, "%s %s  pkey%-2d resident  region=%s\n", mark, pg.Base, pg.PKey, pg.Region)
+			default:
+				fmt.Fprintf(&b, "%s %s  pkey%-2d reserved  region=%s\n", mark, pg.Base, pg.PKey, pg.Region)
+			}
+		}
+	}
+
+	if len(r.Regions) > 0 {
+		b.WriteString("reservations:\n")
+		for _, reg := range r.Regions {
+			fmt.Fprintf(&b, "  %-24s %s +%#x pkey%d\n", reg.Name, reg.Base, reg.Size, reg.PKey)
+		}
+	}
+
+	fmt.Fprintf(&b, "trace tail (%d event(s), %d dropped):\n", len(r.Trace.Events), r.Trace.Dropped)
+	if len(r.Trace.Events) == 0 {
+		b.WriteString("  (no events retained)\n")
+	}
+	for _, e := range r.Trace.Events {
+		fmt.Fprintf(&b, "  %s\n", e.Text)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func bit(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// ServerConfig selects what a Server exposes. Nil fields disable the
+// corresponding endpoint's content but keep the route responding, so
+// scrapers never see transient 404s during startup.
+type ServerConfig struct {
+	// Registry backs /metrics (Prometheus text) and /snapshot.json.
+	Registry *telemetry.Registry
+	// Ring backs /trace (recent runtime events, oldest first).
+	Ring *trace.Ring
+}
+
+// shutdownTimeout bounds how long Close waits for in-flight requests.
+const shutdownTimeout = 5 * time.Second
+
+// Server is a live observability endpoint over a running workload. It is
+// strictly opt-in: nothing in this package spawns goroutines or touches
+// the network unless ListenAndServe is called, so runs without a -listen
+// flag pay zero cost.
+type Server struct {
+	ln       net.Listener
+	srv      *http.Server
+	err      chan error // Serve's exit status, for Close
+	closing  sync.Once
+	closeErr error
+}
+
+// ListenAndServe binds addr (e.g. "127.0.0.1:9120"; ":0" picks a free
+// port) and serves the observability endpoints in a background goroutine:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/snapshot.json  schema-versioned JSON snapshot of every metric
+//	/trace          recent trace-ring events, oldest first
+//	/healthz        liveness probe
+//	/debug/pprof/*  the standard Go profiling handlers
+func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A nil registry writes nothing: an empty exposition is valid.
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Registry.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Ring == nil {
+			fmt.Fprintln(w, "(no trace ring attached; run with -trace N)")
+			return
+		}
+		cfg.Ring.Dump(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux},
+		err: make(chan error, 1),
+	}
+	go func() { s.err <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close gracefully shuts the server down, waiting (bounded) for in-flight
+// requests to drain. It is idempotent and safe on a nil *Server so callers
+// can shut down unconditionally on every exit path.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.closing.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := s.srv.Shutdown(ctx); err != nil {
+			s.closeErr = err
+			return
+		}
+		// Surface Serve's exit status; ErrServerClosed is the clean outcome.
+		if err := <-s.err; err != nil && err != http.ErrServerClosed {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}

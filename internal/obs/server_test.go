@@ -1,0 +1,133 @@
+package obs_test
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("obs_test_hits_total", "Test counter.").Add(7)
+	ring := trace.NewRing(8)
+	ring.Emit(trace.Event{Kind: trace.GateEnter, Note: "clib"})
+
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{Registry: reg, Ring: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	base := srv.URL()
+
+	code, body, _ := get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "obs_test_hits_total 7") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+
+	code, body, hdr = get(t, base+"/snapshot.json")
+	if code != 200 || !strings.Contains(body, `"obs_test_hits_total"`) {
+		t.Errorf("/snapshot.json = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/snapshot.json content-type = %q", ct)
+	}
+
+	code, body, _ = get(t, base+"/trace")
+	if code != 200 || !strings.Contains(body, "gate-enter") {
+		t.Errorf("/trace = %d %q", code, body)
+	}
+
+	code, _, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	// Idempotent close.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestServerNilBackends(t *testing.T) {
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body, _ := get(t, srv.URL()+"/metrics")
+	if code != 200 || body != "" {
+		t.Errorf("/metrics without registry = %d %q, want empty 200", code, body)
+	}
+	code, body, _ = get(t, srv.URL()+"/trace")
+	if code != 200 || !strings.Contains(body, "no trace ring") {
+		t.Errorf("/trace without ring = %d %q", code, body)
+	}
+}
+
+func TestServerShutdownReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _ = get(t, srv.URL()+"/healthz"); false {
+		t.Fatal("unreachable")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The accept loop and any handler goroutines wind down asynchronously
+	// after Shutdown returns; give the scheduler a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines %d -> %d after Close", before, runtime.NumGoroutine())
+}
+
+func TestServerBadAddress(t *testing.T) {
+	if _, err := obs.ListenAndServe("256.0.0.1:bad", obs.ServerConfig{}); err == nil {
+		t.Error("ListenAndServe accepted a bad address")
+	}
+	var nilSrv *obs.Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil server Close: %v", err)
+	}
+}

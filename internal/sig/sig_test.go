@@ -78,6 +78,76 @@ func TestHandlerChaining(t *testing.T) {
 	}
 }
 
+// TestChainingThreeDeep registers three handlers in sequence, each keeping
+// the Register return value as its fallback, and asserts dispatch order is
+// newest-first with each deferral reaching the next-older handler — the
+// exact discipline the runtime relies on when both the crash recorder and
+// the profiling handler hook SIGSEGV on top of an application handler.
+func TestChainingThreeDeep(t *testing.T) {
+	var tbl Table
+	var order []string
+
+	chained := func(name string, serve bool, fallback *Handler) HandlerFunc {
+		return func(info *Info, ctx Context) Action {
+			order = append(order, name)
+			if serve {
+				return Handled
+			}
+			if *fallback != nil {
+				return (*fallback).Handle(info, ctx)
+			}
+			return Unhandled
+		}
+	}
+
+	var appPrev, recPrev, profPrev Handler
+	appPrev = tbl.Register(SIGSEGV, chained("app", true, &appPrev))
+	recPrev = tbl.Register(SIGSEGV, chained("recorder", false, &recPrev))
+	profPrev = tbl.Register(SIGSEGV, chained("profiler", false, &profPrev))
+
+	if appPrev != nil {
+		t.Error("first registration must see nil previous handler")
+	}
+	if recPrev == nil || profPrev == nil {
+		t.Fatal("later registrations must return the displaced handler")
+	}
+
+	if got := tbl.Dispatch(&Info{Sig: SIGSEGV, Code: CodeMapErr}, &fakeCtx{}); got != Handled {
+		t.Errorf("chained dispatch = %v, want Handled by the app handler", got)
+	}
+	want := []string{"profiler", "recorder", "app"}
+	if len(order) != len(want) {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestReRegisterRestoresPrevious asserts the sigaction-style contract end
+// to end: a temporary handler can re-install the handler Register handed
+// back, restoring the original disposition exactly.
+func TestReRegisterRestoresPrevious(t *testing.T) {
+	var tbl Table
+	orig := HandlerFunc(func(*Info, Context) Action { return Handled })
+	tbl.Register(SIGSEGV, orig)
+
+	prev := tbl.Register(SIGSEGV, HandlerFunc(func(*Info, Context) Action { return Fatal }))
+	if got := tbl.Dispatch(&Info{Sig: SIGSEGV}, &fakeCtx{}); got != Fatal {
+		t.Fatalf("temporary handler verdict = %v, want Fatal", got)
+	}
+
+	tbl.Register(SIGSEGV, prev)
+	if got := tbl.Dispatch(&Info{Sig: SIGSEGV}, &fakeCtx{}); got != Handled {
+		t.Errorf("restored handler verdict = %v, want Handled", got)
+	}
+	if tbl.Handler(SIGSEGV) == nil {
+		t.Error("Handler(SIGSEGV) = nil after restore")
+	}
+}
+
 func TestSignalsAreIndependent(t *testing.T) {
 	var tbl Table
 	segv := HandlerFunc(func(*Info, Context) Action { return Handled })

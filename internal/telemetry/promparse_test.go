@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePrometheus is a minimal in-repo parser for the text exposition
+// format, just enough to round-trip what WritePrometheus emits: comment
+// lines are skipped and label values are unescaped (\\, \n, \").
+func parsePrometheus(t *testing.T, text string) []promSample {
+	t.Helper()
+	var samples []promSample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var s promSample
+		s.labels = map[string]string{}
+		rest := line
+		if brace := strings.IndexByte(rest, '{'); brace >= 0 {
+			s.name = rest[:brace]
+			body, tail, err := splitLabelBlock(rest[brace:])
+			if err != nil {
+				t.Fatalf("%v in line %q", err, line)
+			}
+			parseLabels(t, body, s.labels)
+			rest = strings.TrimSpace(tail)
+		} else {
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				t.Fatalf("no value in line %q", line)
+			}
+			s.name, rest = rest[:sp], strings.TrimSpace(rest[sp+1:])
+		}
+		v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		s.value = v
+		samples = append(samples, s)
+	}
+	return samples
+}
+
+// splitLabelBlock consumes a {...} block honoring escapes inside quoted
+// values, returning the inner body and the remainder after '}'.
+func splitLabelBlock(s string) (body, tail string, err error) {
+	if s[0] != '{' {
+		return "", "", fmt.Errorf("label block must start with {")
+	}
+	inQuote, escaped := false, false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuote:
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return s[1:i], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block")
+}
+
+// parseLabels splits `k="v",k2="v2"` into the map, unescaping values.
+func parseLabels(t *testing.T, body string, into map[string]string) {
+	t.Helper()
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			t.Fatalf("malformed label in %q", body)
+		}
+		name := body[:eq]
+		var val strings.Builder
+		i := eq + 2
+		for ; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					t.Fatalf("unknown escape \\%c in %q", body[i], body)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(body) || body[i] != '"' {
+			t.Fatalf("unterminated label value in %q", body)
+		}
+		into[name] = val.String()
+		body = body[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+}
+
+// TestPrometheusLabelEscapingRoundTrip writes counters whose label values
+// contain every character the exposition format escapes — quotes,
+// backslashes and newlines — and asserts the in-repo parser recovers the
+// original values exactly.
+func TestPrometheusLabelEscapingRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`has "quotes" inside`,
+		`back\slash and trailing \`,
+		"multi\nline\nvalue",
+		"mix\"of\\all\nthree",
+		``,
+	}
+	r := NewRegistry()
+	vec := r.CounterVec("escape_test_total", "Counter with hostile label values.", "site")
+	for i, v := range hostile {
+		vec.With(v).Add(uint64(i + 1))
+	}
+
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	// The raw exposition must never contain an unescaped newline inside a
+	// label value: every sample stays on one line.
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "escape_test_total") {
+			t.Errorf("sample broken across lines: %q", line)
+		}
+	}
+
+	samples := parsePrometheus(t, out.String())
+	if len(samples) != len(hostile) {
+		t.Fatalf("parsed %d samples, want %d:\n%s", len(samples), len(hostile), out.String())
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		if s.name != "escape_test_total" {
+			t.Errorf("unexpected family %q", s.name)
+		}
+		got[s.labels["site"]] = s.value
+	}
+	for i, v := range hostile {
+		if got[v] != float64(i+1) {
+			t.Errorf("label %q: value %v, want %d (round-trip lost the value)", v, got[v], i+1)
+		}
+	}
+}
+
+// TestPrometheusEscapingStable asserts escaping is deterministic and does
+// not double-escape when exported twice.
+func TestPrometheusEscapingStable(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("stable_total", "", "k").With("a\\\"b\nc").Inc()
+	var first, second strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("exposition not stable:\n%q\n%q", first.String(), second.String())
+	}
+	want := `stable_total{k="a\\\"b\nc"} 1`
+	if !strings.Contains(first.String(), want) {
+		t.Errorf("escaped sample missing; got:\n%s\nwant line: %s", first.String(), want)
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDumpConcurrentWithEmit hammers Dump from one goroutine while others
+// keep emitting. Under -race this catches unlocked reads; the assertions
+// catch torn views: the dropped-count header and the events must come from
+// one snapshot, so the first printed sequence number always equals the
+// dropped count, and printed sequence numbers are contiguous.
+func TestDumpConcurrentWithEmit(t *testing.T) {
+	r := NewRing(8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Emit(Event{Kind: Fault, A: 0x1000, B: 1})
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		r.Dump(&sb)
+		checkDumpCoherent(t, sb.String())
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// checkDumpCoherent parses one Dump output and asserts the dropped header
+// matches the first event and sequence numbers have no gaps.
+func checkDumpCoherent(t *testing.T, out string) {
+	t.Helper()
+	var dropped uint64
+	var seqs []uint64
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "... ") {
+			fields := strings.Fields(line)
+			n, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad dropped header %q: %v", line, err)
+			}
+			dropped = n
+			continue
+		}
+		if !strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected dump line %q", line)
+		}
+		numEnd := strings.IndexByte(line, ' ')
+		n, err := strconv.ParseUint(line[1:numEnd], 10, 64)
+		if err != nil {
+			t.Fatalf("bad seq in %q: %v", line, err)
+		}
+		seqs = append(seqs, n)
+	}
+	if len(seqs) == 0 {
+		return
+	}
+	if seqs[0] != dropped {
+		t.Errorf("torn dump: first seq %d != dropped %d\n%s", seqs[0], dropped, out)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Errorf("torn dump: gap %d -> %d\n%s", seqs[i-1], seqs[i], out)
+		}
+	}
+}
+
+// TestSnapshotDroppedPairsUnderLoad asserts the (events, dropped) pair
+// stays mutually consistent while writers run.
+func TestSnapshotDroppedPairsUnderLoad(t *testing.T) {
+	r := NewRing(4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Emit(Event{Kind: Resume, A: 0x2000})
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		events, dropped := r.SnapshotDropped()
+		if len(events) > 0 && events[0].Seq != dropped {
+			t.Fatalf("first seq %d != dropped %d", events[0].Seq, dropped)
+		}
+		for j := 1; j < len(events); j++ {
+			if events[j].Seq != events[j-1].Seq+1 {
+				t.Fatalf("gap in snapshot: %d -> %d", events[j-1].Seq, events[j].Seq)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -135,28 +135,42 @@ func (r *Ring) Dropped() uint64 {
 
 // Snapshot returns the retained events, oldest first.
 func (r *Ring) Snapshot() []Event {
+	events, _ := r.SnapshotDropped()
+	return events
+}
+
+// SnapshotDropped returns the retained events (oldest first) together
+// with the dropped count, both taken under one lock acquisition so the
+// pair is mutually consistent even while other goroutines keep emitting:
+// dropped always equals the first returned event's sequence number once
+// the ring has wrapped.
+func (r *Ring) SnapshotDropped() (events []Event, dropped uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := uint64(len(r.buf))
-	out := make([]Event, 0, n)
+	events = make([]Event, 0, n)
 	start := uint64(0)
 	if r.next > n {
 		start = r.next - n
+		dropped = start
 	}
 	for s := start; s < r.next; s++ {
-		out = append(out, r.buf[s%n])
+		events = append(events, r.buf[s%n])
 	}
-	return out
+	return events, dropped
 }
 
 // Dump writes the retained events to w, oldest first. If the ring has
 // wrapped, a leading line reports how many earlier events were dropped so
-// a truncated crash dump is never mistaken for the full history.
+// a truncated crash dump is never mistaken for the full history. The
+// events and the dropped count come from one atomic snapshot, so a dump
+// concurrent with Emit never shows a torn view.
 func (r *Ring) Dump(w io.Writer) {
-	if d := r.Dropped(); d > 0 {
-		fmt.Fprintf(w, "... %d earlier event(s) dropped (ring capacity %d)\n", d, len(r.buf))
+	events, dropped := r.SnapshotDropped()
+	if dropped > 0 {
+		fmt.Fprintf(w, "... %d earlier event(s) dropped (ring capacity %d)\n", dropped, len(r.buf))
 	}
-	for _, e := range r.Snapshot() {
+	for _, e := range events {
 		fmt.Fprintln(w, e.String())
 	}
 }

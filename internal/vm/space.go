@@ -222,6 +222,47 @@ func (s *Space) PKeyAt(a Addr) (mpk.Key, bool) {
 	return 0, false
 }
 
+// PageInfo describes one page for diagnostics: whether it falls inside a
+// reservation, whether it has been materialized, and the protection key
+// and region governing it. Crash forensics renders a window of these
+// around a faulting address.
+type PageInfo struct {
+	Base     Addr
+	Reserved bool
+	Resident bool
+	PKey     mpk.Key // meaningful only when Reserved
+	Region   string  // owning reservation's name, "" if unreserved
+}
+
+// PageMapAround reports the pages within radius pages on each side of a
+// (inclusive), clamped to the address space, oldest address first. The
+// whole window is read under one lock so the view is consistent.
+func (s *Space) PageMapAround(a Addr, radius int) []PageInfo {
+	if radius < 0 {
+		radius = 0
+	}
+	first := a.PageBase()
+	for i := 0; i < radius && first >= PageSize; i++ {
+		first -= PageSize
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]PageInfo, 0, 2*radius+1)
+	for p := first; p < MaxAddr && len(out) < cap(out); p += PageSize {
+		info := PageInfo{Base: p}
+		if pg := s.pages[p.PageIndex()]; pg != nil {
+			info.Reserved, info.Resident, info.PKey = true, true, pg.pkey
+		} else if r := s.regionAtLocked(p); r != nil {
+			info.Reserved, info.PKey = true, r.PKey
+		}
+		if r := s.regionAtLocked(p); r != nil {
+			info.Region = r.Name
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
 // ResidentPages returns the number of pages that have been touched and are
 // therefore backed by committed memory.
 func (s *Space) ResidentPages() int {
