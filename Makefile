@@ -1,4 +1,4 @@
-.PHONY: check test build fmt
+.PHONY: check test build fmt conform fuzz-smoke
 
 check:
 	sh scripts/check.sh
@@ -11,3 +11,11 @@ build:
 
 fmt:
 	gofmt -w .
+
+conform:
+	go run ./cmd/pkru-conform -fault all
+	go run ./cmd/pkru-conform -traces 64 -ops 512
+
+fuzz-smoke:
+	go test -fuzz '^FuzzDifferential$$' -fuzztime 10s ./internal/conformance
+	go test -fuzz '^FuzzSpaceOracle$$' -fuzztime 10s ./internal/conformance

@@ -115,6 +115,42 @@ func TestCLIExploit(t *testing.T) {
 	}
 }
 
+// TestCLIExploitGolden pins the E3 binary's exact output for a fixed
+// secret. The whole experiment is deterministic — fixed pool bases, fixed
+// secret address, seedless exploit script — so the full transcript
+// including the PKUERR decode must be byte-identical from run to run; any
+// drift in the fault address, faulting key or decoded AD/WD bits is a
+// semantics change, not noise.
+func TestCLIExploitGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	const golden = `=== E3: exploit vs unprotected browser (servo-exploitable) ===
+secret planted at 0x168000000000 = 42
+running exploit script in the JavaScript engine...
+exploit completed without a fault
+secret at exit = 1337 (CORRUPTED — attack succeeded)
+
+=== E3: exploit vs PKRU-Safe browser (servo-pkru) ===
+secret planted at 0x168000000000 = 42
+running exploit script in the JavaScript engine...
+MPK violation: SIGSEGV code=100 addr=0x168000000000 access=write pkey=1
+PKUERR decode: pkey1 rights=-- AD=true WD=true pkru=0x0000000c
+process terminated by PKRU-Safe (simulated crash)
+secret at exit = 42 (INTACT — attack blocked)
+`
+	exploit := buildTool(t, "pkru-exploit")
+	for run := 0; run < 2; run++ {
+		out, err := exec.Command(exploit, "-secret", "42").CombinedOutput()
+		if err != nil {
+			t.Fatalf("run %d: %v\n%s", run, err, out)
+		}
+		if string(out) != golden {
+			t.Errorf("run %d output differs from golden:\n--- got ---\n%s--- want ---\n%s", run, out, golden)
+		}
+	}
+}
+
 // TestCLIProfileTools exercises pkru-profile show/merge/diff.
 func TestCLIProfileTools(t *testing.T) {
 	if testing.Short() {

@@ -1,0 +1,84 @@
+package conformance
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/mpk"
+	"repro/internal/vm"
+)
+
+// maxFuzzOps bounds one fuzz input's trace length so a single input stays
+// fast; longer inputs are truncated, not rejected.
+const maxFuzzOps = 512
+
+// FuzzDifferential is the main conformance fuzzer: arbitrary bytes decode
+// into a trace, the trace replays against the real stack and the model,
+// and any divergence is shrunk and printed as a ready-to-paste regression
+// test before failing.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 6; seed++ {
+		f.Add(Generate(seed, 96).Encode())
+	}
+	for _, fault := range Faults() {
+		f.Add(DirectedTrace(fault).Encode())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := Decode(data)
+		if len(tr.Ops) > maxFuzzOps {
+			tr.Ops = tr.Ops[:maxFuzzOps]
+		}
+		res := Run(tr, Options{})
+		if len(res.Divergences) == 0 {
+			return
+		}
+		sh := Shrink(tr, Options{})
+		t.Fatalf("real stack diverges from the reference model: %v\nshrunk repro (add to regress_test.go):\n%s",
+			res.Divergences[0], FormatGoTest("Fuzz", sh))
+	})
+}
+
+// FuzzSpaceOracle drives vm.Space.Reserve/SetPKey directly against the
+// model and then compares the protection key of EVERY page in the scratch
+// window — denser than the differential executor's edge probes, so
+// region-split bookkeeping bugs can't hide between probe points.
+func FuzzSpaceOracle(f *testing.F) {
+	// One reserve + an overlapping retag, and a wrap-sized reserve.
+	f.Add([]byte{0, 1, 0, 0, 0x10, 0, 0, 0, 0, 0, 0, 0, 1, 5, 2, 0, 0x08, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 1, 0, 0, 0xf0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const window = 256 // pages checked exhaustively
+		space := vm.NewSpace()
+		model := NewModel(1, 1)
+		const recLen = 12
+		for n := 0; len(data) >= recLen && n < 64; n++ {
+			rec := data[:recLen]
+			data = data[recLen:]
+			base := scratchBase + vm.Addr(binary.LittleEndian.Uint16(rec[2:])%window)*vm.PageSize
+			size := binary.LittleEndian.Uint64(rec[4:])
+			if rec[0]&2 != 0 {
+				size = (size % 32) * vm.PageSize // mostly sane spans
+			}
+			key := mpk.Key(rec[1])
+			if rec[0]&1 == 0 {
+				_, err := space.Reserve("fuzz", base, size, key)
+				if got := model.Reserve(base, size, key); got != (err == nil) {
+					t.Fatalf("Reserve(%v, %#x, %d): real err=%v, model ok=%v", base, size, key, err, got)
+				}
+			} else {
+				err := space.SetPKey(base, size, key)
+				if got := model.SetPKey(base, size, key); got != (err == nil) {
+					t.Fatalf("SetPKey(%v, %#x, %d): real err=%v, model ok=%v", base, size, key, err, got)
+				}
+			}
+		}
+		for p := 0; p < window+32; p++ {
+			a := scratchBase + vm.Addr(p)*vm.PageSize
+			realKey, realOK := space.PKeyAt(a)
+			modelKey, modelOK := model.KeyAt(a)
+			if realOK != modelOK || (realOK && realKey != modelKey) {
+				t.Fatalf("page %v: real key=%d,%v model key=%d,%v", a, realKey, realOK, modelKey, modelOK)
+			}
+		}
+	})
+}

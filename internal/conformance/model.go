@@ -1,0 +1,227 @@
+// Package conformance checks the real enforcement stack — vm.Space paging,
+// vm.Thread PKRU checking, sig fault delivery, the pkalloc pools and the
+// ffi call gates — against an independent reference model of the intended
+// MPK semantics.
+//
+// The model is deliberately primitive: a sorted list of reserved address
+// intervals tagged with protection keys, and per-thread PKRU values with a
+// gate stack. It has no page table, no residency, no region splitting, no
+// allocator and no signal machinery, so a bug in any of those layers shows
+// up as a divergence between the model's predicted outcome and what the
+// real stack actually did. A seeded trace generator (gen.go) and a
+// differential executor (diff.go) drive both sides through the same
+// operation sequence; a shrinker (shrink.go) reduces any divergence to a
+// minimal replayable trace, and a fault injector (inject.go) plants known
+// bugs in the real side to prove the oracle catches them.
+package conformance
+
+import (
+	"sort"
+
+	"repro/internal/mpk"
+	"repro/internal/vm"
+)
+
+// interval is one reserved span [base, end) whose pages carry key.
+// Intervals are disjoint; adjacent intervals may carry different keys.
+type interval struct {
+	base, end vm.Addr
+	key       mpk.Key
+}
+
+// modelThread is the model's view of one CPU context: the PKRU register
+// and the stack of rights saved by open call gates.
+type modelThread struct {
+	pkru  mpk.PKRU
+	gates []mpk.PKRU
+}
+
+// Model is the pure reference model of the enforcement semantics.
+type Model struct {
+	ivals      []interval // sorted by base, disjoint
+	threads    []*modelThread
+	trustedKey mpk.Key
+}
+
+// NewModel returns a model with nthreads fresh threads (PKRU zero, the
+// permit-everything hardware reset state) and no reservations.
+func NewModel(nthreads int, trustedKey mpk.Key) *Model {
+	m := &Model{trustedKey: trustedKey}
+	for i := 0; i < nthreads; i++ {
+		m.threads = append(m.threads, &modelThread{})
+	}
+	return m
+}
+
+// UntrustedPKRU is the rights value the model expects a forward gate to
+// install: everything stays accessible except the trusted pool's key.
+func (m *Model) UntrustedPKRU() mpk.PKRU {
+	return mpk.PermitAll.With(m.trustedKey, mpk.DenyAll)
+}
+
+// PKRU returns thread t's rights register.
+func (m *Model) PKRU(t int) mpk.PKRU {
+	return m.threads[t].pkru
+}
+
+// SetPKRU models WRPKRU on thread t.
+func (m *Model) SetPKRU(t int, v mpk.PKRU) { m.threads[t].pkru = v }
+
+// GateDepth returns the number of open gates on thread t.
+func (m *Model) GateDepth(t int) int { return len(m.threads[t].gates) }
+
+// GateEnter models a forward call gate on thread t: the current rights are
+// saved and the untrusted rights installed.
+func (m *Model) GateEnter(t int) {
+	th := m.threads[t]
+	th.gates = append(th.gates, th.pkru)
+	th.pkru = m.UntrustedPKRU()
+}
+
+// GateExit models the matching gate return: the saved rights are restored.
+// Exiting with no open gate is a harness error and panics.
+func (m *Model) GateExit(t int) {
+	th := m.threads[t]
+	th.pkru = th.gates[len(th.gates)-1]
+	th.gates = th.gates[:len(th.gates)-1]
+}
+
+// pageAligned reports whether v is a multiple of the page size.
+func pageAligned(v uint64) bool { return v&vm.PageMask == 0 }
+
+// Reserve models registering [base, base+size) with the given key. It
+// returns false for the inputs the real Space must reject: misaligned base
+// or size, an empty or out-of-range span (including sizes so large that
+// base+size wraps around the 64-bit address space), an invalid key, or
+// overlap with an existing reservation.
+func (m *Model) Reserve(base vm.Addr, size uint64, key mpk.Key) bool {
+	if !pageAligned(uint64(base)) || !pageAligned(size) || size == 0 {
+		return false
+	}
+	if uint64(base) >= uint64(vm.MaxAddr) || size > uint64(vm.MaxAddr) ||
+		uint64(base) > uint64(vm.MaxAddr)-size {
+		return false
+	}
+	if !key.Valid() {
+		return false
+	}
+	end := base + vm.Addr(size)
+	for _, iv := range m.ivals {
+		if base < iv.end && iv.base < end {
+			return false
+		}
+	}
+	m.ivals = append(m.ivals, interval{base: base, end: end, key: key})
+	sort.Slice(m.ivals, func(i, j int) bool { return m.ivals[i].base < m.ivals[j].base })
+	return true
+}
+
+// SetPKey models pkey_mprotect over [base, base+size): every page in the
+// range must already be reserved, and the whole range is retagged. A zero
+// size is a no-op that succeeds, matching pkey_mprotect(len=0). Returns
+// false on misalignment, an invalid key, a wrapping range, or a range not
+// fully covered by reservations.
+func (m *Model) SetPKey(base vm.Addr, size uint64, key mpk.Key) bool {
+	if !pageAligned(uint64(base)) || !pageAligned(size) || !key.Valid() {
+		return false
+	}
+	if size == 0 {
+		return true
+	}
+	if size > uint64(vm.MaxAddr) || uint64(base) > uint64(vm.MaxAddr)-size {
+		return false
+	}
+	end := base + vm.Addr(size)
+	// Coverage: walk the sorted intervals across [base, end) with no gaps.
+	at := base
+	for _, iv := range m.ivals {
+		if iv.end <= at {
+			continue
+		}
+		if iv.base > at {
+			return false // gap at 'at'
+		}
+		at = iv.end
+		if at >= end {
+			break
+		}
+	}
+	if at < end {
+		return false
+	}
+	// Retag: split overlapping intervals so [base, end) carries key.
+	var out []interval
+	for _, iv := range m.ivals {
+		if iv.end <= base || end <= iv.base {
+			out = append(out, iv)
+			continue
+		}
+		if iv.base < base {
+			out = append(out, interval{base: iv.base, end: base, key: iv.key})
+		}
+		if end < iv.end {
+			out = append(out, interval{base: end, end: iv.end, key: iv.key})
+		}
+	}
+	out = append(out, interval{base: base, end: end, key: key})
+	sort.Slice(out, func(i, j int) bool { return out[i].base < out[j].base })
+	m.ivals = out
+	return true
+}
+
+// KeyAt returns the protection key governing addr and whether addr is
+// reserved at all.
+func (m *Model) KeyAt(addr vm.Addr) (mpk.Key, bool) {
+	i := sort.Search(len(m.ivals), func(i int) bool { return m.ivals[i].end > addr })
+	if i < len(m.ivals) && m.ivals[i].base <= addr && addr < m.ivals[i].end {
+		return m.ivals[i].key, true
+	}
+	return 0, false
+}
+
+// Access predicts the outcome of an n-byte data access by thread t at
+// addr. The check walks the range page chunk by page chunk, exactly as an
+// MMU (and vm.Thread.access) does: the first chunk whose page is
+// unreserved raises a map fault, the first chunk whose key the thread's
+// PKRU forbids raises a protection-key fault, and the reported fault
+// address is the first byte of the failing chunk.
+func (m *Model) Access(t int, addr vm.Addr, n uint64, write bool) Outcome {
+	pkru := m.threads[t].pkru
+	a := addr
+	for remaining := n; remaining > 0; {
+		key, ok := m.KeyAt(a)
+		if !ok {
+			return faultOutcome(FaultMap, a, 0, write, pkru)
+		}
+		allowed := pkru.CanRead(key)
+		if write {
+			allowed = pkru.CanWrite(key)
+		}
+		if !allowed {
+			return faultOutcome(FaultPKU, a, key, write, pkru)
+		}
+		chunk := vm.PageSize - (uint64(a) & vm.PageMask)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		a += vm.Addr(chunk)
+		remaining -= chunk
+	}
+	return Outcome{Kind: OK, PKRU: pkru}
+}
+
+// faultOutcome assembles a fault prediction including the decoded PKRU
+// bits for the faulting key — the same decode obs renders in crash
+// reports, which is why the differential executor diffs it bit for bit.
+func faultOutcome(kind OutcomeKind, addr vm.Addr, key mpk.Key, write bool, pkru mpk.PKRU) Outcome {
+	r := pkru.Rights(key)
+	return Outcome{
+		Kind:  kind,
+		Addr:  addr,
+		PKey:  key,
+		Write: write,
+		AD:    r&mpk.AccessDisable != 0,
+		WD:    r&mpk.WriteDisable != 0,
+		PKRU:  pkru,
+	}
+}

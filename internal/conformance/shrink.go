@@ -1,0 +1,61 @@
+package conformance
+
+import "repro/internal/vm"
+
+// diverges reports whether replaying tr under opts still disagrees.
+func diverges(tr Trace, opts Options) bool {
+	return len(Run(tr, opts).Divergences) > 0
+}
+
+// Shrink reduces a diverging trace to a locally minimal one that still
+// diverges under the same options: first whole chunks of ops are removed
+// (delta-debugging style, halving granularity), then single ops, then the
+// surviving ops' numeric payloads are simplified. The result replays
+// deterministically, so it can be pasted into a regression test via
+// FormatGoTest.
+func Shrink(tr Trace, opts Options) Trace {
+	if !diverges(tr, opts) {
+		return tr
+	}
+	ops := append([]Op(nil), tr.Ops...)
+
+	// Pass 1: remove chunks, halving the chunk size until single ops.
+	for chunk := len(ops) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(ops); {
+			candidate := make([]Op, 0, len(ops)-chunk)
+			candidate = append(candidate, ops[:start]...)
+			candidate = append(candidate, ops[start+chunk:]...)
+			if diverges(Trace{Ops: candidate}, opts) {
+				ops = candidate // keep the removal, retry same position
+			} else {
+				start += chunk
+			}
+		}
+	}
+
+	// Pass 2: simplify payloads op by op — smaller sizes, zero offsets,
+	// thread 0 — accepting any change that preserves the divergence.
+	simplify := func(i int, f func(*Op)) {
+		candidate := append([]Op(nil), ops...)
+		f(&candidate[i])
+		if diverges(Trace{Ops: candidate}, opts) {
+			ops = candidate
+		}
+	}
+	for i := range ops {
+		simplify(i, func(o *Op) { o.Thread = 0 })
+		simplify(i, func(o *Op) { o.Slot = 0 })
+		switch ops[i].Kind {
+		case OpLoad, OpStore, OpGateCall:
+			simplify(i, func(o *Op) { o.Size = 1 })
+			if ops[i].Flags&FlagRawAddr == 0 {
+				simplify(i, func(o *Op) { o.Addr = 0 })
+			}
+		case OpReserve, OpSetPKey:
+			simplify(i, func(o *Op) { o.Size = vm.PageSize })
+		case OpAlloc, OpRealloc:
+			simplify(i, func(o *Op) { o.Size = 16 })
+		}
+	}
+	return Trace{Ops: ops}
+}

@@ -1,6 +1,8 @@
 package mpk
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -140,5 +142,155 @@ func TestStringFormats(t *testing.T) {
 	s := PermitAll.With(2, DenyAll).String()
 	if want := "PKRU(0x00000030: 2=--)"; s != want {
 		t.Errorf("PKRU string = %q, want %q", s, want)
+	}
+}
+
+// Table-driven boundary cases for With: the first key, the last key, and
+// invalid keys, whose shift amounts fall off the 32-bit register entirely
+// (a shift >= 32 on a uint32 is defined as zero in Go, so an invalid key
+// must leave the register untouched rather than aliasing a valid one).
+func TestWithKeyBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		p    PKRU
+		k    Key
+		r    Rights
+		want PKRU
+	}{
+		{"key 0 deny", PermitAll, 0, DenyAll, PKRU(0x00000003)},
+		{"key 0 read-only", PermitAll, 0, ReadOnly, PKRU(0x00000002)},
+		{"last key deny", PermitAll, NumKeys - 1, DenyAll, PKRU(0xc0000000)},
+		{"last key read-only", PermitAll, NumKeys - 1, ReadOnly, PKRU(0x80000000)},
+		{"key 0 reset", PKRU(0x00000003), 0, AllowAll, PermitAll},
+		{"last key reset", PKRU(0xc0000000), NumKeys - 1, AllowAll, PermitAll},
+		{"invalid key 16 is a no-op", PKRU(0x12345678), 16, DenyAll, PKRU(0x12345678)},
+		{"invalid key 255 is a no-op", PKRU(0x12345678), 255, DenyAll, PKRU(0x12345678)},
+	}
+	for _, c := range cases {
+		if got := c.p.With(c.k, c.r); got != c.want {
+			t.Errorf("%s: %v.With(%v, %v) = %#08x, want %#08x",
+				c.name, c.p, c.k, c.r, uint32(got), uint32(c.want))
+		}
+	}
+}
+
+// Rights reads past the last key must report AllowAll (the bits simply do
+// not exist), never leak a neighbouring key's rights.
+func TestRightsInvalidKey(t *testing.T) {
+	p := PKRU(0xffffffff) // every valid key fully denied
+	for _, k := range []Key{16, 17, 100, 255} {
+		if got := p.Rights(k); got != AllowAll {
+			t.Errorf("Rights(%v) = %v, want AllowAll for out-of-range key", k, got)
+		}
+		if !p.CanRead(k) || !p.CanWrite(k) {
+			t.Errorf("out-of-range %v must not be deniable", k)
+		}
+	}
+}
+
+// DenyAllExcept at the key boundaries: allowing key 0, the last key, or an
+// invalid key (which must change nothing — all valid keys stay denied).
+func TestDenyAllExceptBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		keys    []Key
+		allowed map[Key]bool
+	}{
+		{"only key 0", []Key{0}, map[Key]bool{0: true}},
+		{"only last key", []Key{NumKeys - 1}, map[Key]bool{NumKeys - 1: true}},
+		{"first and last", []Key{0, NumKeys - 1}, map[Key]bool{0: true, NumKeys - 1: true}},
+		{"invalid key allows nothing", []Key{16}, map[Key]bool{}},
+		{"valid plus invalid", []Key{3, 200}, map[Key]bool{3: true}},
+	}
+	for _, c := range cases {
+		p := DenyAllExcept(c.keys...)
+		for k := Key(0); k < NumKeys; k++ {
+			want := c.allowed[k]
+			if got := p.CanRead(k) && p.CanWrite(k); got != want {
+				t.Errorf("%s: key %v accessible = %v, want %v", c.name, k, got, want)
+			}
+		}
+	}
+}
+
+// parseRights inverts Rights.String for the round-trip tests below.
+func parseRights(t *testing.T, s string) Rights {
+	t.Helper()
+	switch s {
+	case "rw":
+		return AllowAll
+	case "r-":
+		return ReadOnly
+	case "--":
+		return DenyAll
+	}
+	t.Fatalf("unparseable rights %q", s)
+	return 0
+}
+
+func TestRightsStringRoundTrip(t *testing.T) {
+	for _, r := range []Rights{AllowAll, ReadOnly, DenyAll, AccessDisable} {
+		got := parseRights(t, r.String())
+		// AD alone has no distinct rendering; it denies everything and
+		// round-trips to DenyAll, which is behaviourally identical.
+		want := r & DenyAll
+		if want == AccessDisable {
+			want = DenyAll
+		}
+		if got != want {
+			t.Errorf("%v round-trips to %v, want %v", r, got, want)
+		}
+	}
+}
+
+// PKRU.String lists every non-AllowAll key, so rebuilding a register from
+// the printed entries must reproduce the exact value — for any value.
+func TestPKRUStringRoundTrip(t *testing.T) {
+	parse := func(s string) PKRU {
+		t.Helper()
+		inner := strings.TrimSuffix(strings.TrimPrefix(s, "PKRU("), ")")
+		fields := strings.Fields(strings.ReplaceAll(inner, ":", ""))
+		p := PermitAll
+		for _, f := range fields[1:] { // fields[0] is the hex value
+			var k int
+			var rs string
+			if _, err := fmt.Sscanf(f, "%d=%s", &k, &rs); err != nil {
+				t.Fatalf("unparseable entry %q in %q: %v", f, s, err)
+			}
+			p = p.With(Key(k), parseRights(t, rs))
+		}
+		return p
+	}
+	// The string collapses AccessDisable-alone to "--" (it denies exactly
+	// what DenyAll denies), so the round-trip target is the behavioural
+	// canonical form, not the raw bits.
+	canonical := func(p PKRU) PKRU {
+		q := PermitAll
+		for k := Key(0); k < NumKeys; k++ {
+			r := p.Rights(k)
+			if r&AccessDisable != 0 {
+				r = DenyAll
+			}
+			q = q.With(k, r)
+		}
+		return q
+	}
+	values := []PKRU{
+		PermitAll,
+		PermitAll.With(0, DenyAll),
+		PermitAll.With(NumKeys-1, ReadOnly),
+		DenyAllExcept(0),
+		DenyAllExcept(),
+		PKRU(0xdeadbeef),
+		PKRU(0xffffffff),
+	}
+	for _, p := range values {
+		if got, want := parse(p.String()), canonical(p); got != want {
+			t.Errorf("%v round-trips to %#08x, want %#08x", p.String(), uint32(got), uint32(want))
+		}
+	}
+	f := func(raw uint32) bool { return parse(PKRU(raw).String()) == canonical(PKRU(raw)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }
