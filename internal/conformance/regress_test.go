@@ -1,0 +1,41 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// Shrunk counterexamples found by the fuzz targets, committed as pinned
+// regressions. Each trace once diverged between the real stack and the
+// reference model; replaying it must now report zero divergences.
+
+// Found by FuzzSpaceOracle (corpus entry
+// testdata/fuzz/FuzzSpaceOracle/8ccd98505f952e48) and shrunk to one op:
+// vm.Space.Reserve computed its upper bound as base+size, which wraps for
+// sizes near 2^64, so this reservation was accepted and produced a region
+// whose End() preceded its Base. The model rejects it.
+func TestConformanceRegressionReserveWrap(t *testing.T) {
+	tr := conformance.Trace{Ops: []conformance.Op{
+		{Kind: conformance.OpReserve, Thread: 0, Slot: 0, Flags: 0, Key: 1, Addr: 0x100000030000, Size: 0xffffff3030303000, Value: 0},
+	}}
+	res := conformance.Run(tr, conformance.Options{})
+	for _, d := range res.Divergences {
+		t.Errorf("divergence: %v", d)
+	}
+}
+
+// The sibling bug in vm.Space.SetPKey: the same wrapping bound made the
+// reservation-coverage walk see an empty range, so the retag "succeeded"
+// as a silent no-op where the model rejects it.
+func TestConformanceRegressionSetPKeyWrap(t *testing.T) {
+	tr := conformance.Trace{Ops: []conformance.Op{
+		{Kind: conformance.OpReserve, Thread: 0, Slot: 0, Flags: 0, Key: 1, Addr: 0x100000030000, Size: 0x4000, Value: 0},
+		{Kind: conformance.OpSetPKey, Thread: 0, Slot: 0, Flags: 0, Key: 2, Addr: 0x100000030000, Size: 0xfffffffffffff000, Value: 0},
+		{Kind: conformance.OpLoad, Thread: 0, Slot: 0, Flags: 0x4, Key: 0, Addr: 0x100000030000, Size: 0x8, Value: 0},
+	}}
+	res := conformance.Run(tr, conformance.Options{})
+	for _, d := range res.Divergences {
+		t.Errorf("divergence: %v", d)
+	}
+}

@@ -89,8 +89,11 @@ func (s *Space) Reserve(name string, base Addr, size uint64, key mpk.Key) (*Regi
 	if size == 0 {
 		return nil, fmt.Errorf("vm: reserve %q: empty region", name)
 	}
-	if base >= MaxAddr || uint64(base)+size > uint64(MaxAddr) {
-		return nil, fmt.Errorf("vm: reserve %q: [%v, %#x) outside %d-bit address space", name, base, uint64(base)+size, AddrBits)
+	// The subtraction form avoids overflow: a size near 2^64 would wrap
+	// base+size past zero and slip through an addition-based bound check,
+	// registering a region whose End() precedes its Base.
+	if base >= MaxAddr || size > uint64(MaxAddr) || uint64(base) > uint64(MaxAddr)-size {
+		return nil, fmt.Errorf("vm: reserve %q: [%v, +%#x) outside %d-bit address space", name, base, size, AddrBits)
 	}
 	if !key.Valid() {
 		return nil, fmt.Errorf("vm: reserve %q: invalid protection key %d", name, key)
@@ -169,6 +172,12 @@ func (s *Space) SetPKey(base Addr, size uint64, key mpk.Key) error {
 	}
 	if !key.Valid() {
 		return fmt.Errorf("vm: pkey_mprotect: invalid protection key %d", key)
+	}
+	// Same overflow-safe bound as Reserve: a wrapping base+size used to
+	// make end precede base, so the reservation walk below saw an empty
+	// range and the call succeeded as a silent no-op.
+	if size != 0 && (size > uint64(MaxAddr) || uint64(base) > uint64(MaxAddr)-size) {
+		return fmt.Errorf("vm: pkey_mprotect: [%v, +%#x) outside %d-bit address space", base, size, AddrBits)
 	}
 	end := base + Addr(size)
 	s.mu.Lock()

@@ -40,11 +40,39 @@ func TestReserveValidation(t *testing.T) {
 	if _, err := s.Reserve("too-high", MaxAddr-PageSize, 2*PageSize, 0); err == nil {
 		t.Error("region beyond 48-bit space accepted")
 	}
+	// Sizes near 2^64 wrap base+size past zero; an addition-based bound
+	// check accepts them and produces a region whose End() precedes its
+	// Base (found by the conformance fuzzer, FuzzSpaceOracle).
+	if _, err := s.Reserve("wrap", testBase, ^uint64(0)-PageSize+1, 0); err == nil {
+		t.Error("wrapping size accepted")
+	}
+	if _, err := s.Reserve("wrap-max", testBase, 0xffffff3030303000, 1); err == nil {
+		t.Error("wrapping size accepted")
+	}
 	if _, err := s.Reserve("ok", testBase, 4*PageSize, 1); err != nil {
 		t.Fatalf("valid reserve failed: %v", err)
 	}
 	if _, err := s.Reserve("overlap", testBase+PageSize, PageSize, 0); err == nil {
 		t.Error("overlapping reserve accepted")
+	}
+}
+
+func TestSetPKeyWrapRejected(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Reserve("r", testBase, 4*PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A wrapping range used to make the reservation walk see an empty
+	// span, so the call succeeded as a silent no-op instead of failing.
+	if err := s.SetPKey(testBase, ^uint64(0)-PageSize+1, 2); err == nil {
+		t.Error("wrapping SetPKey range accepted")
+	}
+	if k, _ := s.PKeyAt(testBase); k != 1 {
+		t.Errorf("key after rejected SetPKey = %d, want 1", k)
+	}
+	// len=0 stays a successful no-op, as with pkey_mprotect.
+	if err := s.SetPKey(testBase, 0, 2); err != nil {
+		t.Errorf("zero-size SetPKey: %v", err)
 	}
 }
 
