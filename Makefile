@@ -1,4 +1,4 @@
-.PHONY: check test build fmt conform fuzz-smoke
+.PHONY: check test build fmt conform fuzz-smoke recover-demo
 
 check:
 	sh scripts/check.sh
@@ -15,6 +15,19 @@ fmt:
 conform:
 	go run ./cmd/pkru-conform -fault all
 	go run ./cmd/pkru-conform -traces 64 -ops 512
+	go run ./cmd/pkru-conform -supervised
+
+# recover-demo proves the supervisor's headline property on the quickstart
+# example run without a profile (so its shared site is misclassified MT):
+# the default fail-stop policy dies on the PKUERR, while -recover=heal
+# migrates the site and completes.
+recover-demo:
+	@echo "--- -recover=abort must crash ---"
+	@if go run ./cmd/pkrusafe run examples/pkir/quickstart.pkir; then \
+		echo "recover-demo: abort run unexpectedly succeeded" >&2; exit 1; \
+	else echo "(crashed as expected)"; fi
+	@echo "--- -recover=heal must complete ---"
+	go run ./cmd/pkrusafe run examples/pkir/quickstart.pkir -recover=heal -heal-out=-
 
 fuzz-smoke:
 	go test -fuzz '^FuzzDifferential$$' -fuzztime 10s ./internal/conformance

@@ -384,3 +384,149 @@ func TestCLIServo(t *testing.T) {
 		t.Errorf("base servo: %v\n%s", err, out)
 	}
 }
+
+// TestCLIRecoverHeal drives the supervisor's headline contrast on the
+// quickstart program run without a profile: the default policy dies on
+// the PKUERR while -recover=heal completes, prints the exact "crash
+// averted" report (the whole run is deterministic — fixed pool bases,
+// fixed site IDs — so the report is golden), persists the healed-site
+// profile delta, and exports the recovery counters in -metrics-json.
+func TestCLIRecoverHeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pkrusafe := buildTool(t, "pkrusafe")
+	src := "examples/pkir/quickstart.pkir"
+	dir := t.TempDir()
+
+	// Fail-stop baseline: same program, same missing profile, exit 1.
+	if out, err := exec.Command(pkrusafe, "run", src, "-recover", "abort").CombinedOutput(); err == nil {
+		t.Fatalf("-recover=abort should exit nonzero:\n%s", out)
+	}
+
+	healed := filepath.Join(dir, "healed.prof")
+	metrics := filepath.Join(dir, "metrics.json")
+	cmd := exec.Command(pkrusafe, "run", src, "-recover", "heal", "-heal-out", healed, "-metrics-json", metrics)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("-recover=heal should exit zero: %v\n%s", err, stderr.String())
+	}
+	if got := stdout.String(); got != "1337\n" {
+		t.Errorf("healed run stdout = %q, want \"1337\\n\"", got)
+	}
+	const goldenStderr = `pkrusafe: crash averted: 1 recovery action(s) under policy heal
+pkrusafe:   #1 heal ir/untrusted.clib_write site=main@0.0
+pkrusafe:       would have died: write SEGV_PKUERR at 0x200000000000 (pkey 1)
+pkrusafe: healed 1 allocation site(s): main@0.0
+pkrusafe: mpk run returned [1337] (2 transitions)
+`
+	if got := stderr.String(); got != goldenStderr {
+		t.Errorf("crash-averted report differs from golden:\n--- got ---\n%s--- want ---\n%s", got, goldenStderr)
+	}
+
+	// The persisted delta round-trips: with it applied, the enforced run
+	// needs no recovery at all.
+	out, err := exec.Command(pkrusafe, "run", src, "-profile", healed, "-recover", "abort").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run with healed profile: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "crash averted") {
+		t.Errorf("healed-profile run should not need recovery:\n%s", out)
+	}
+
+	// Recovery outcomes are visible in the metrics export.
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics JSON not written: %v", err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Series []struct {
+				LabelValues []string `json:"label_values"`
+				Value       float64  `json:"value"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, data)
+	}
+	got := map[string]float64{}
+	for _, m := range snap.Metrics {
+		for _, s := range m.Series {
+			key := m.Name
+			if len(s.LabelValues) > 0 {
+				key += "{" + strings.Join(s.LabelValues, ",") + "}"
+			}
+			got[key] = s.Value
+		}
+	}
+	for key, want := range map[string]float64{
+		"pkrusafe_recovery_attempts_total":            2,
+		"pkrusafe_recovery_outcomes_total{recovered}": 1,
+		"pkrusafe_recovery_actions_total{heal}":       1,
+		"pkrusafe_recovery_healed_sites_total":        1,
+	} {
+		if got[key] != want {
+			t.Errorf("metric %s = %v, want %v", key, got[key], want)
+		}
+	}
+}
+
+// TestCLIServoRecover checks request-level isolation in the browser
+// binary: with a deliberately empty profile every request's script dies
+// in the engine, and under -recover=quarantine each is dropped while the
+// service survives (exit 0), whereas -recover=heal migrates the missed
+// sites so later requests simply succeed.
+func TestCLIServoRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	servo := buildTool(t, "pkru-servo")
+	empty := filepath.Join(t.TempDir(), "empty.prof")
+	if err := os.WriteFile(empty, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(servo, "-config", "mpk", "-profile", empty, "-requests", "2",
+		"-recover", "quarantine").CombinedOutput()
+	if err != nil {
+		t.Fatalf("quarantine run should survive dropped requests: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"request 1/2 dropped (quarantined)",
+		"request 2/2 dropped (quarantined)",
+		"crash averted: served 0/2 request(s), dropped 2 under policy quarantine",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("quarantine output missing %q:\n%s", want, text)
+		}
+	}
+
+	out, err = exec.Command(servo, "-config", "mpk", "-profile", empty, "-requests", "2",
+		"-recover", "heal").CombinedOutput()
+	if err != nil {
+		t.Fatalf("heal run: %v\n%s", err, out)
+	}
+	if got := strings.Count(string(out), "script result:"); got != 2 {
+		t.Errorf("healed servo served %d/2 requests:\n%s", got, out)
+	}
+}
+
+// TestCLIConformSupervised runs the supervised-gate drill through the
+// shipped conformance binary.
+func TestCLIConformSupervised(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	conform := buildTool(t, "pkru-conform")
+	out, err := exec.Command(conform, "-supervised").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pkru-conform -supervised: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "supervised-gate drill") {
+		t.Errorf("drill output:\n%s", out)
+	}
+}

@@ -9,6 +9,7 @@
 //	pkru-bench -experiment jetstream  Figure 7 + Table 3
 //	pkru-bench -experiment table1     Table 1 (all four suites)
 //	pkru-bench -experiment sites      §5.3 allocation-site statistics
+//	pkru-bench -experiment recovery   fault supervision overhead (fault-free)
 //	pkru-bench -experiment all        everything above
 //
 // Absolute times are the simulator's, not the paper testbed's; the
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "micro|fig3|table1|dromaeo|kraken|octane|jetstream|sites|ablation|all")
+	experiment := flag.String("experiment", "all", "micro|fig3|table1|dromaeo|kraken|octane|jetstream|sites|ablation|recovery|all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (lower = faster)")
 	repeats := flag.Int("repeats", 3, "timed repetitions per configuration (min kept)")
 	microIters := flag.Int("micro-iters", 200000, "iterations per micro-benchmark measurement")
@@ -99,6 +100,19 @@ func main() {
 		exitOn(err)
 		fmt.Println(bench.FormatSites(r))
 	}
+	if run("recovery") {
+		rs, err := bench.RunRecovery(*microIters)
+		exitOn(err)
+		fmt.Println(bench.FormatRecovery(rs))
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "recovery.json")
+			f, err := os.Create(path)
+			exitOn(err)
+			exitOn(bench.WriteRecoveryJSON(f, *microIters, rs))
+			exitOn(f.Close())
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
 	if !anyExperiment(*experiment) {
 		fmt.Fprintf(os.Stderr, "pkru-bench: unknown experiment %q\n", *experiment)
 		flag.Usage()
@@ -116,7 +130,7 @@ func writeReport(path string, r bench.SuiteReport, write func(io.Writer, bench.S
 
 func anyExperiment(name string) bool {
 	switch name {
-	case "micro", "fig3", "table1", "dromaeo", "kraken", "octane", "jetstream", "sites", "ablation", "all":
+	case "micro", "fig3", "table1", "dromaeo", "kraken", "octane", "jetstream", "sites", "ablation", "recovery", "all":
 		return true
 	}
 	return false

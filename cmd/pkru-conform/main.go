@@ -5,6 +5,7 @@
 //
 //	pkru-conform -seed 1 -traces 256 -ops 512        differential sweep
 //	pkru-conform -fault all                          prove planted bugs are caught
+//	pkru-conform -supervised                         supervised-gate recovery drill
 //	pkru-conform -traces 64 -json -                  JSON telemetry summary
 //
 // On a divergence the shrunk counterexample is printed as a runnable Go
@@ -29,6 +30,7 @@ func main() {
 		traces = flag.Int("traces", 64, "number of generated traces to replay")
 		ops    = flag.Int("ops", 512, "operations per trace")
 		fault  = flag.String("fault", "", "fault-injection mode: skip-gate-restore|swallow-segv|leak-trusted-alloc|stale-setpkey|all")
+		superv = flag.Bool("supervised", false, "run the supervised-gate drill: recovery must not change enforcement semantics")
 		jsonTo = flag.String("json", "", "write the telemetry summary as JSON to this path (\"-\" = stdout)")
 		table  = flag.Bool("table", false, "print the telemetry summary as a table")
 		quiet  = flag.Bool("q", false, "suppress per-run progress output")
@@ -46,9 +48,12 @@ func main() {
 	}
 
 	ok := true
-	if *fault != "" {
+	switch {
+	case *superv:
+		ok = runSupervised(*quiet)
+	case *fault != "":
 		ok = runFaultInjection(*fault, m, *quiet)
-	} else {
+	default:
 		ok = runDifferential(*seed, *traces, *ops, m, *quiet)
 	}
 
@@ -146,6 +151,21 @@ func runFaultInjection(mode string, m *metrics, quiet bool) bool {
 		}
 	}
 	return ok
+}
+
+// runSupervised drills every recovery policy through the differential
+// oracle: the recovering stack and the model must agree on PKRU, gate
+// depth and the full page-key map after each unwind, and the drill's own
+// planted skip-restore bug must be caught.
+func runSupervised(quiet bool) bool {
+	if err := conformance.DrillSupervised(); err != nil {
+		fmt.Fprintln(os.Stderr, "pkru-conform:", err)
+		return false
+	}
+	if !quiet {
+		fmt.Println("pkru-conform: supervised-gate drill: retry/quarantine/heal recover without semantic drift; planted skip-restore caught")
+	}
+	return true
 }
 
 func writeJSON(path string, reg *telemetry.Registry) error {

@@ -7,6 +7,13 @@
 //
 // Without -html/-script a built-in demo page and script are used.
 //
+// -recover selects a compartment fault recovery policy (abort, the
+// default, keeps fail-stop; retry, quarantine and heal make engine
+// faults survivable) and -requests N executes the script N times as
+// independent requests: a request whose script dies in the engine is
+// dropped and reported, but the browser keeps serving the rest — the
+// request-level isolation a real embedder wants from the supervisor.
+//
 // -metrics / -metrics-json export the run's telemetry in Prometheus text
 // or JSON form ("-" = stdout); -listen serves the live observability
 // endpoints (/metrics, /snapshot.json, /trace, /healthz, /debug/pprof)
@@ -17,6 +24,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/supervise"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -64,7 +73,12 @@ func main() {
 	metrics := flag.String("metrics", "", `write Prometheus metrics to this path ("-" = stdout)`)
 	metricsJSON := flag.String("metrics-json", "", `write a JSON metrics snapshot to this path ("-" = stdout)`)
 	listen := flag.String("listen", "", "serve /metrics, /snapshot.json, /trace, /healthz and /debug/pprof on this address while running")
+	recoverName := flag.String("recover", "abort", "compartment fault recovery policy: abort|retry|quarantine|heal")
+	requests := flag.Int("requests", 1, "execute the script this many times as independent requests")
 	flag.Parse()
+
+	policy, err := supervise.ParsePolicy(*recoverName)
+	exitOn(err)
 
 	html, script := demoHTML, demoScript
 	if *htmlPath != "" {
@@ -120,6 +134,7 @@ func main() {
 		ScriptOutput: os.Stdout,
 		Trace:        trace.NewRing(traceCap),
 		Forensics:    true,
+		Supervision:  supervise.Config{Policy: policy},
 	}
 	var reg *telemetry.Registry
 	if *metrics != "" || *metricsJSON != "" || *listen != "" {
@@ -149,9 +164,28 @@ func main() {
 		os.Exit(1)
 	}
 	crashOn(b.LoadHTML(html))
-	result, err := b.ExecScript(script)
-	crashOn(err)
-	fmt.Printf("script result: %g\n", result)
+
+	// The request loop: each script execution is one supervised request. A
+	// request the supervisor could not save is dropped — logged with its
+	// typed compartment error — without taking the service down; any other
+	// error is a genuine crash.
+	served, dropped := 0, 0
+	for i := 1; i <= *requests; i++ {
+		result, err := b.ExecScript(script)
+		var cerr *supervise.CompartmentError
+		if errors.As(err, &cerr) {
+			dropped++
+			fmt.Fprintf(os.Stderr, "pkru-servo: request %d/%d dropped (%s): %v\n", i, *requests, cerr.Outcome, cerr.Err)
+			continue
+		}
+		crashOn(err)
+		served++
+		fmt.Printf("script result: %g\n", result)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "pkru-servo: crash averted: served %d/%d request(s), dropped %d under policy %s\n",
+			served, *requests, dropped, policy)
+	}
 
 	st := b.Stats()
 	fmt.Printf("config=%v transitions=%d dom-ops=%d sites=%d shared-sites=%d %%MU=%.2f%%\n",

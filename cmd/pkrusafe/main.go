@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/pkir"
 	"repro/internal/profile"
 	"repro/internal/static"
+	"repro/internal/supervise"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -59,6 +61,8 @@ type options struct {
 	listen      string
 	crashJSON   string
 	jsonOut     bool
+	recoverName string
+	healOut     string
 }
 
 func (o *options) profileFlag(fs *flag.FlagSet) {
@@ -85,6 +89,10 @@ func (o *options) runFlags(fs *flag.FlagSet) {
 	fs.StringVar(&o.metricsJSON, "metrics-json", "", `write a JSON metrics snapshot to this path ("-" = stdout)`)
 	fs.StringVar(&o.listen, "listen", "", "serve /metrics, /snapshot.json, /trace, /healthz and /debug/pprof on this address while running")
 	fs.StringVar(&o.crashJSON, "crash-json", "", `write a JSON crash report to this path if the run dies on a fault ("-" = stdout)`)
+	fs.StringVar(&o.recoverName, "recover", "abort",
+		"compartment fault recovery policy: abort|retry|quarantine|heal")
+	fs.StringVar(&o.healOut, "heal-out", "",
+		`write the applied profile updated with healed sites to this path ("-" = stdout)`)
 }
 
 // command is one subcommand. The usage text is generated from this table
@@ -308,7 +316,9 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 		ringCap = defaultCrashRing
 	}
 	ring := trace.NewRing(ringCap)
-	opts := core.Options{Trace: ring, Forensics: true}
+	policy, err := supervise.ParsePolicy(o.recoverName)
+	exitOn(err)
+	opts := core.Options{Trace: ring, Forensics: true, Supervision: supervise.Config{Policy: policy}}
 	var reg *telemetry.Registry
 	if table || o.metrics != "" || o.metricsJSON != "" || o.listen != "" {
 		reg = telemetry.NewRegistry()
@@ -332,7 +342,9 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 	// Telemetry is exported before the crash branch below so a faulting
 	// run still leaves its counters behind (exit status stays 1).
 	emitTelemetry(o, reg, table)
+	emitHealedProfile(o, applied, prog.Supervisor())
 	if runErr != nil {
+		reportRecovery(os.Stderr, prog.Supervisor(), false)
 		fmt.Fprintf(os.Stderr, "pkrusafe: program crashed: %v\n", runErr)
 		if rep, ok := prog.Forensics().Capture(runErr); ok {
 			exitOn(rep.WriteText(os.Stderr))
@@ -347,8 +359,69 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 		closeServer(srv)
 		os.Exit(1)
 	}
+	reportRecovery(os.Stderr, prog.Supervisor(), true)
 	fmt.Fprintf(os.Stderr, "pkrusafe: %v run returned %v (%d transitions)\n", cfg, res, prog.Transitions())
 	closeServer(srv)
+}
+
+// reportRecovery prints the supervisor's recovery log: the "crash
+// averted" report when the run survived its compartment failures, or the
+// recovery attempts that preceded a crash. Silent when nothing happened.
+func reportRecovery(w io.Writer, sup *supervise.Supervisor, survived bool) {
+	evs := sup.Events()
+	if len(evs) == 0 {
+		return
+	}
+	if survived {
+		fmt.Fprintf(w, "pkrusafe: crash averted: %d recovery action(s) under policy %s\n",
+			len(evs), sup.Policy())
+	} else {
+		fmt.Fprintf(w, "pkrusafe: recovery exhausted after %d action(s) under policy %s\n",
+			len(evs), sup.Policy())
+	}
+	for _, e := range evs {
+		line := fmt.Sprintf("pkrusafe:   #%d %s %s", e.Seq, e.Action, e.Call)
+		if e.Site != "" {
+			line += " site=" + e.Site
+		}
+		if e.Epoch != 0 {
+			line += fmt.Sprintf(" mu-epoch=%d", e.Epoch)
+		}
+		fmt.Fprintln(w, line)
+		if e.Averted != nil {
+			fmt.Fprintf(w, "pkrusafe:       would have died: %s %s at %s (pkey %d)\n",
+				e.Averted.Fault.Access, e.Averted.Fault.Code, e.Averted.Fault.Addr, e.Averted.Fault.PKey)
+		}
+	}
+	if delta := sup.Delta(); delta.Len() > 0 {
+		ids := delta.IDs()
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = id.String()
+		}
+		fmt.Fprintf(w, "pkrusafe: healed %d allocation site(s): %s\n", len(ids), strings.Join(names, ", "))
+	}
+}
+
+// emitHealedProfile persists the applied profile merged with the healed
+// sites: running again with this profile needs no healing.
+func emitHealedProfile(o *options, applied *profile.Profile, sup *supervise.Supervisor) {
+	if o.healOut == "" {
+		return
+	}
+	merged := profile.New()
+	if applied != nil {
+		merged.Merge(applied)
+	}
+	merged.Merge(sup.Delta())
+	writeTo(o.healOut, func(w io.Writer) error {
+		data, err := json.MarshalIndent(merged, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	})
 }
 
 // defaultCrashRing is the trace-ring capacity used when -trace is unset:

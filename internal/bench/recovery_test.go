@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunRecovery smoke-runs the fault-free supervision benchmark and
+// checks the report plumbing: all three workloads measured, sane
+// factors, and the schema-versioned JSON round-trip.
+func TestRunRecovery(t *testing.T) {
+	rs, err := RunRecovery(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if r.Unsupervised <= 0 || r.Supervised <= 0 {
+			t.Errorf("%s: non-positive timing %+v", r.Name, r)
+		}
+		if r.Factor <= 0 {
+			t.Errorf("%s: factor = %v", r.Name, r.Factor)
+		}
+	}
+	text := FormatRecovery(rs)
+	for _, want := range []string{"empty", "read_one", "callback", "fault-free"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, text)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRecoveryJSON(&buf, 200, rs); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema     int    `json:"schema"`
+		Experiment string `json:"experiment"`
+		Results    []struct {
+			Name   string  `json:"name"`
+			Factor float64 `json:"factor"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("JSON report: %v\n%s", err, buf.String())
+	}
+	if rep.Schema != RecoveryReportSchema || rep.Experiment != "recovery" || len(rep.Results) != 3 {
+		t.Errorf("report header = %+v", rep)
+	}
+}

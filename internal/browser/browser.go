@@ -12,6 +12,7 @@ import (
 	"repro/internal/jsengine"
 	"repro/internal/mpk"
 	"repro/internal/profile"
+	"repro/internal/supervise"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -66,6 +67,11 @@ type Options struct {
 	// fatal MPK violation can be rendered as a crash report (see
 	// Browser.Prog.Forensics).
 	Forensics bool
+	// Supervision configures compartment fault recovery for the script
+	// engine's gated calls (eval/lookup/invoke). The zero value keeps the
+	// fail-stop behaviour; any other policy shields each script execution
+	// so one poisoned request cannot take the whole browser down.
+	Supervision supervise.Config
 }
 
 // New builds a browser under the given configuration. Alloc and MPK
@@ -81,9 +87,10 @@ func New(cfg core.BuildConfig, prof *profile.Profile, opts ...Options) (*Browser
 		return nil, err
 	}
 	prog, err := core.NewProgram(reg, cfg, prof, core.Options{
-		Telemetry: opt.Telemetry,
-		Trace:     opt.Trace,
-		Forensics: opt.Forensics,
+		Telemetry:   opt.Telemetry,
+		Trace:       opt.Trace,
+		Forensics:   opt.Forensics,
+		Supervision: opt.Supervision,
 	})
 	if err != nil {
 		return nil, err
@@ -116,6 +123,15 @@ func New(cfg core.BuildConfig, prof *profile.Profile, opts ...Options) (*Browser
 
 // th returns the browser's main thread.
 func (b *Browser) th() *ffi.Thread { return b.Prog.Main() }
+
+// engineCall crosses into the script engine, through the supervisor when
+// one is configured so engine-side faults become recoverable events.
+func (b *Browser) engineCall(th *ffi.Thread, fn string, words ...uint64) ([]uint64, error) {
+	if sup := b.Prog.Supervisor(); sup != nil {
+		return sup.Call(th, jsengine.DefaultLib, fn, words...)
+	}
+	return th.Call(jsengine.DefaultLib, fn, words...)
+}
 
 // DOMOps returns the count of trusted DOM operations performed.
 func (b *Browser) DOMOps() uint64 { return b.domOps.Load() }
@@ -391,7 +407,7 @@ func (b *Browser) ExecScript(src string) (float64, error) {
 	if err := th.VM.Write(buf, []byte(src)); err != nil {
 		return 0, err
 	}
-	res, err := th.Call(jsengine.DefaultLib, "eval", uint64(buf), uint64(len(src)))
+	res, err := b.engineCall(th, "eval", uint64(buf), uint64(len(src)))
 	if ferr := b.Prog.Free(buf); ferr != nil && err == nil {
 		err = ferr
 	}
@@ -411,7 +427,7 @@ func (b *Browser) LookupScriptFunc(name string) (uint64, error) {
 	if err := th.VM.Write(buf, []byte(name)); err != nil {
 		return 0, err
 	}
-	res, err := th.Call(jsengine.DefaultLib, "lookup", uint64(buf), uint64(len(name)))
+	res, err := b.engineCall(th, "lookup", uint64(buf), uint64(len(name)))
 	if ferr := b.Prog.Free(buf); ferr != nil && err == nil {
 		err = ferr
 	}
@@ -432,7 +448,7 @@ func (b *Browser) InvokeScriptFunc(id uint64, args ...float64) (float64, error) 
 	for _, a := range args {
 		words = append(words, math.Float64bits(a))
 	}
-	res, err := b.th().Call(jsengine.DefaultLib, "invoke", words...)
+	res, err := b.engineCall(b.th(), "invoke", words...)
 	if err != nil {
 		return 0, err
 	}

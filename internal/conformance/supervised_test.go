@@ -1,0 +1,52 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/supervise"
+)
+
+// TestSupervisedGateDrill is the fault-injection drill: the reference
+// model and the recovering stack must agree on PKRU state and the page
+// key map after an unwind under every recovery policy, and the drill's
+// own planted bug (recovery that skips the PKRU restore) must be caught.
+func TestSupervisedGateDrill(t *testing.T) {
+	if err := DrillSupervised(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupervisedGatePerPolicy(t *testing.T) {
+	for _, p := range []supervise.Policy{supervise.Retry, supervise.Quarantine, supervise.Heal} {
+		rep, err := RunSupervisedGate(SupervisedOptions{Policy: p})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(rep.Divergences) != 0 {
+			t.Errorf("%v: divergences: %v", p, rep.DivergenceStrings)
+		}
+		switch p {
+		case supervise.Retry, supervise.Heal:
+			if rep.CallErr != "" {
+				t.Errorf("%v: supervised call failed: %s", p, rep.CallErr)
+			}
+		case supervise.Quarantine:
+			if rep.CallErr == "" {
+				t.Errorf("quarantine: dropped call reported success")
+			}
+		}
+		if (p == supervise.Heal) != rep.Healed {
+			t.Errorf("%v: healed = %v", p, rep.Healed)
+		}
+	}
+}
+
+func TestSupervisedGatePlantedBugCaught(t *testing.T) {
+	rep, err := RunSupervisedGate(SupervisedOptions{Policy: supervise.Heal, PlantSkipRestore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) == 0 {
+		t.Fatal("planted skip-restore recovery bug not detected")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/provenance"
 	"repro/internal/sig"
+	"repro/internal/supervise"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -110,8 +111,9 @@ type Program struct {
 	sigs    *sig.Table
 	runtime *ffi.Runtime
 	tracer  *provenance.Tracer
-	rec     *obs.Recorder    // fault forensics, nil unless Options.Forensics
-	applied *profile.Profile // profile consumed by Alloc/MPK builds
+	rec     *obs.Recorder         // fault forensics, nil unless Options.Forensics
+	sup     *supervise.Supervisor // nil unless Options.Supervision enables recovery
+	applied *profile.Profile      // profile consumed by Alloc/MPK builds
 
 	mu    sync.Mutex
 	sites map[profile.AllocID]*Site
@@ -161,6 +163,13 @@ type Options struct {
 	// and observes fault delivery so a fatal MPK violation can be turned
 	// into a structured crash report (Program.Forensics().Capture).
 	Forensics bool
+	// Supervision configures the compartment fault supervisor. The zero
+	// value (policy Abort) keeps the paper's fail-stop semantics: no
+	// recovery points, failures kill the run. Any other policy makes
+	// supervised cross-compartment calls recoverable; the Heal policy
+	// implies Forensics, since healing resolves fault addresses through
+	// the forensics shadow store.
+	Supervision supervise.Config
 }
 
 // NewProgram builds a program from annotated libraries under the given
@@ -207,6 +216,11 @@ func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts 
 	if opt.Telemetry != nil {
 		p.attachTelemetry(opt.Telemetry)
 	}
+	if opt.Supervision.Policy == supervise.Heal {
+		// Healing resolves PKUERR addresses to allocation sites through
+		// the forensics shadow store, so the recorder must be present.
+		opt.Forensics = true
+	}
 	if opt.Forensics {
 		// The recorder keeps its own metadata store: Options.Store is the
 		// profiler's, and sharing one instance across the tracer's and the
@@ -232,6 +246,14 @@ func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts 
 		// Installed immediately; applications that register their own
 		// SIGSEGV handlers first are chained to automatically.
 		p.tracer.Install(sigs)
+	}
+	if opt.Supervision.Policy != supervise.Abort {
+		p.sup = supervise.New(opt.Supervision, supervise.Deps{
+			Alloc:     alloc,
+			Recorder:  p.rec,
+			Ring:      opt.Trace,
+			Telemetry: opt.Telemetry,
+		})
 	}
 	p.main = p.runtime.NewThread()
 	p.bindForensics(p.main)
@@ -338,6 +360,11 @@ func (p *Program) Tracer() *provenance.Tracer { return p.tracer }
 // was created without Options.Forensics. The nil recorder is safe to use.
 func (p *Program) Forensics() *obs.Recorder { return p.rec }
 
+// Supervisor returns the compartment fault supervisor, or nil when the
+// build keeps the default Abort policy. The nil supervisor is safe to
+// use: its Call/Shield degrade to plain calls.
+func (p *Program) Supervisor() *supervise.Supervisor { return p.sup }
+
 // RecordedProfile returns the profile collected by a Profiling build.
 func (p *Program) RecordedProfile() (*profile.Profile, error) {
 	if p.tracer == nil {
@@ -382,12 +409,19 @@ func (p *Program) site(id profile.AllocID, pool pkalloc.Compartment) *Site {
 
 // AllocAt serves an allocation from a registered site, routing to the pool
 // the build decided and feeding the provenance tracer in Profiling builds.
+// A site the supervisor has healed draws from MU even though it was
+// registered trusted — the allocator-call rewrite a profiler re-run would
+// have produced, applied at runtime.
 func (p *Program) AllocAt(s *Site, size uint64) (vm.Addr, error) {
+	pool := s.Pool
+	if pool == pkalloc.Trusted && p.sup.Healed(s.ID) {
+		pool = pkalloc.Untrusted
+	}
 	var sp telemetry.Span
 	if tel := p.tel; tel != nil {
-		sp = telemetry.StartSpan(tel.allocLat[s.Pool], nil, "heap:alloc")
+		sp = telemetry.StartSpan(tel.allocLat[pool], nil, "heap:alloc")
 	}
-	addr, err := p.alloc.AllocIn(s.Pool, size)
+	addr, err := p.alloc.AllocIn(pool, size)
 	sp.End()
 	if err != nil {
 		return 0, err
@@ -398,7 +432,7 @@ func (p *Program) AllocAt(s *Site, size uint64) (vm.Addr, error) {
 	s.mu.Unlock()
 	s.mAllocs.Inc()
 	s.mBytes.Add(size)
-	if p.tracer != nil && s.Pool == pkalloc.Trusted {
+	if p.tracer != nil && pool == pkalloc.Trusted {
 		p.tracer.LogAlloc(uint64(addr), size, s.ID)
 	}
 	p.rec.LogAlloc(uint64(addr), size, s.ID)

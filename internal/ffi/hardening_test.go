@@ -133,3 +133,78 @@ func TestOOMPropagates(t *testing.T) {
 		t.Errorf("small allocation after OOM failed: %v", err)
 	}
 }
+
+// TestPanicMidCallRestoresGateInvariants: an untrusted Func that panics
+// must not leave the thread stuck in the untrusted compartment. The gates
+// unwind themselves as the panic propagates, so Depth(), CurrentTrust()
+// and the PKRU register are all back to their pre-call values by the time
+// the panic reaches (and is recovered by) the trusted frame.
+func TestPanicMidCallRestoresGateInvariants(t *testing.T) {
+	rt, reg := world(t, GatesOn)
+	reg.MustLibrary("lib", Untrusted).Define("boom", func(*Thread, []uint64) ([]uint64, error) {
+		panic("untrusted library crashed")
+	})
+	// Nested variant: trusted callback panics two gates deep.
+	reg.MustLibrary("trusted", Trusted).Define("cb_boom", func(*Thread, []uint64) ([]uint64, error) {
+		panic("trusted callback crashed")
+	})
+	reg.MustLibrary("lib", Untrusted).Define("call_back", func(th *Thread, _ []uint64) ([]uint64, error) {
+		return th.Call("trusted", "cb_boom")
+	})
+
+	th := rt.NewThread()
+	for _, fn := range []string{"boom", "call_back"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: panic swallowed", fn)
+				}
+			}()
+			_, _ = th.Call("lib", fn)
+		}()
+		if d := th.Depth(); d != 0 {
+			t.Errorf("%s: Depth() after panic = %d, want 0", fn, d)
+		}
+		if tr := th.CurrentTrust(); tr != Trusted {
+			t.Errorf("%s: CurrentTrust() after panic = %v, want Trusted", fn, tr)
+		}
+		if r := th.VM.Rights(); r != mpk.PermitAll {
+			t.Errorf("%s: rights after panic = %v, want PermitAll", fn, r)
+		}
+	}
+	// The thread is still usable: a subsequent gated call succeeds.
+	reg.MustLibrary("lib", Untrusted).Define("ok", func(*Thread, []uint64) ([]uint64, error) {
+		return nil, nil
+	})
+	if _, err := th.Call("lib", "ok"); err != nil {
+		t.Errorf("call after recovered panic: %v", err)
+	}
+}
+
+// TestCheckpointUnwind: the supervisor's recovery-point primitives restore
+// depth, trust and rights, and refuse to unwind "forward" to a deeper
+// frame.
+func TestCheckpointUnwind(t *testing.T) {
+	rt, reg := world(t, GatesOn)
+	var inner Checkpoint
+	reg.MustLibrary("lib", Untrusted).Define("snap", func(th *Thread, _ []uint64) ([]uint64, error) {
+		inner = th.Checkpoint()
+		return nil, nil
+	})
+	th := rt.NewThread()
+	cp := th.Checkpoint()
+	if _, err := th.Call("lib", "snap"); err != nil {
+		t.Fatal(err)
+	}
+	// Unwinding to the (now-popped) inner frame is a caller bug.
+	if err := th.Unwind(inner); err == nil {
+		t.Error("unwind to deeper checkpoint accepted")
+	}
+	// Unwinding to the trusted frame verifies and is idempotent at depth 0.
+	if err := th.Unwind(cp); err != nil {
+		t.Errorf("Unwind: %v", err)
+	}
+	if th.Depth() != 0 || th.CurrentTrust() != Trusted || th.VM.Rights() != cp.Rights() {
+		t.Errorf("state after unwind: depth=%d trust=%v rights=%v", th.Depth(), th.CurrentTrust(), th.VM.Rights())
+	}
+}

@@ -243,16 +243,21 @@ func (t *Thread) CallNoGate(lib, fn string, args ...uint64) ([]uint64, error) {
 }
 
 // plainCall runs f with the callee's logical trust pushed but no rights
-// change.
+// change. The pop rides a defer so a panicking callee leaves the trust
+// stack balanced while the panic propagates.
 func (t *Thread) plainCall(trust Trust, f Func, args []uint64) ([]uint64, error) {
 	t.trust = append(t.trust, trust)
-	res, err := f(t, args)
-	t.trust = t.trust[:len(t.trust)-1]
-	return res, err
+	defer func() { t.trust = t.trust[:len(t.trust)-1] }()
+	return f(t, args)
 }
 
 // throughGate performs one gated call: push current rights, install and
-// verify the target rights, run, restore.
+// verify the target rights, run, restore. The exit half runs under a
+// defer, so the gate unwinds itself — popping its compartment-stack frame
+// and reinstating the saved PKRU — even when the callee panics. That is
+// the property the fault supervisor's recovery points build on: by the
+// time a panic (or an error return) reaches the trusted frame, every gate
+// it crossed has already restored the rights it saved.
 func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Func, args []uint64) ([]uint64, error) {
 	var sp telemetry.Span
 	if tel := t.rt.tel; tel != nil {
@@ -271,25 +276,74 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Fun
 	if t.rt.ring != nil {
 		t.rt.ring.Emit(trace.Event{Kind: trace.GateEnter, A: uint64(uint32(target))})
 	}
+	defer func() {
+		t.trust = t.trust[:len(t.trust)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		t.VM.SetRights(prev)
+		wrpkruDelay(t.rt.gateCost)
+		if t.rt.ring != nil {
+			t.rt.ring.Emit(trace.Event{Kind: trace.GateExit, A: uint64(uint32(prev))})
+		}
+		sp.End()
+	}()
 	// The gate's self-check: the PKRU we installed must be the one the gate
 	// was compiled to enforce. On real hardware this defeats whole-function
 	// reuse of gates under CFI; here it guards against runtime tampering.
 	if t.VM.Rights() != target {
 		t.rt.aborted.Store(true)
-		sp.End()
 		return nil, ErrGateTampered
 	}
 	t.rt.transitions.Add(1)
-	res, err := f(t, args)
-	t.trust = t.trust[:len(t.trust)-1]
-	t.stack = t.stack[:len(t.stack)-1]
-	t.VM.SetRights(prev)
-	wrpkruDelay(t.rt.gateCost)
-	if t.rt.ring != nil {
-		t.rt.ring.Emit(trace.Event{Kind: trace.GateExit, A: uint64(uint32(prev))})
+	return f(t, args)
+}
+
+// Checkpoint captures the state a recovery point must restore: the gate
+// and trust stack depths at a trusted frame plus the PKRU in force there.
+// It is an opaque token minted by Thread.Checkpoint and consumed by
+// Thread.Unwind.
+type Checkpoint struct {
+	gateDepth  int
+	trustDepth int
+	rights     mpk.PKRU
+}
+
+// Rights returns the PKRU value in force when the checkpoint was taken.
+func (cp Checkpoint) Rights() mpk.PKRU { return cp.rights }
+
+// Checkpoint records a recovery point at the current frame. Take it in
+// trusted code immediately before a supervised cross-compartment call.
+func (t *Thread) Checkpoint() Checkpoint {
+	return Checkpoint{gateDepth: len(t.stack), trustDepth: len(t.trust), rights: t.VM.Rights()}
+}
+
+// Unwind forces the thread back to a checkpointed frame: any gate and
+// trust frames pushed since the checkpoint are discarded, the
+// checkpointed PKRU is reinstalled through a WRPKRU, and — like a gate's
+// own self-check — the installed value is read back and verified. Because
+// gates self-unwind on both error returns and panics, the stacks are
+// normally already at checkpoint depth and Unwind only has to prove it;
+// the truncation is the backstop that makes recovery sound even if an
+// untrusted callee corrupted the bookkeeping. A verification failure
+// aborts the runtime and returns ErrGateTampered: recovery must never
+// resume trusted code with untrusted rights. Unwinding to a checkpoint
+// deeper than the current stacks is a caller bug and also errors.
+func (t *Thread) Unwind(cp Checkpoint) error {
+	if cp.gateDepth > len(t.stack) || cp.trustDepth > len(t.trust) {
+		return fmt.Errorf("ffi: unwind to depth %d/%d above current %d/%d",
+			cp.gateDepth, cp.trustDepth, len(t.stack), len(t.trust))
 	}
-	sp.End()
-	return res, err
+	t.stack = t.stack[:cp.gateDepth]
+	t.trust = t.trust[:cp.trustDepth]
+	t.VM.SetRights(cp.rights)
+	wrpkruDelay(t.rt.gateCost)
+	if t.VM.Rights() != cp.rights {
+		t.rt.aborted.Store(true)
+		return ErrGateTampered
+	}
+	if t.rt.ring != nil {
+		t.rt.ring.Emit(trace.Event{Kind: trace.Recover, A: uint64(uint32(cp.rights)), Note: "unwind"})
+	}
+	return nil
 }
 
 // Malloc allocates from the pool appropriate to the running code's

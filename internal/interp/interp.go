@@ -174,7 +174,14 @@ func (m *Machine) call(th *ffi.Thread, caller *ir.Func, callee *ir.Func, args []
 	callerUntrusted := caller != nil && caller.Untrusted
 	switch {
 	case !callerUntrusted && callee.Untrusted:
-		// Forward gate: T -> U.
+		// Forward gate: T -> U. When a fault supervisor is configured, the
+		// gate carries a recovery point: a PKUERR/MAPERR fault or a panic
+		// inside the untrusted callee unwinds here instead of killing the
+		// run, and the supervisor's policy (retry/quarantine/heal) decides
+		// what happens next. The nil supervisor degrades to a plain Call.
+		if sup := m.prog.Supervisor(); sup != nil {
+			return sup.Call(th, libOf(callee), callee.Name, args...)
+		}
 		return th.Call(libOf(callee), callee.Name, args...)
 	case callerUntrusted && !callee.Untrusted:
 		if callee.NeedsEntryGate() {

@@ -165,6 +165,18 @@ func (r *Recorder) LogDealloc(base uint64) {
 	r.mu.Unlock()
 }
 
+// Lookup resolves an address to the live allocation containing it, if the
+// shadow store tracks one. The fault supervisor uses it to turn a PKUERR
+// address into the concrete allocation site to heal.
+func (r *Recorder) Lookup(addr uint64) (provenance.Entry, bool) {
+	if r == nil {
+		return provenance.Entry{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Lookup(vm.Addr(addr))
+}
+
 // Live returns the number of currently tracked objects.
 func (r *Recorder) Live() int {
 	if r == nil {

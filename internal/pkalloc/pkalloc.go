@@ -93,6 +93,7 @@ type Allocator struct {
 	regionT   *vm.Region
 	regionU   *vm.Region
 	key       mpk.Key
+	uEpoch    uint64 // incremented by each untrusted-pool quarantine
 }
 
 // New reserves both pools in cfg.Space and returns the allocator.
@@ -241,6 +242,34 @@ func (a *Allocator) ownerLocked(addr vm.Addr) (heap.Allocator, Compartment, erro
 	default:
 		return nil, 0, fmt.Errorf("%w: %v", ErrNotOwned, addr)
 	}
+}
+
+// QuarantineUntrusted resets the MU pool after a compartment failure: the
+// epoch is bumped, every resident MU page is scrubbed to zero (a
+// compromised untrusted library must not leave poisoned data for the next
+// request), and the pool's allocator is replaced with a fresh free list
+// over the same reservation. All outstanding MU allocations are thereby
+// invalidated — subsequent Free/Realloc on a pre-quarantine MU pointer
+// fails like any bad free. MT is untouched: quarantine rehabilitates the
+// sandbox heap, never the trusted one.
+func (a *Allocator) QuarantineUntrusted() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.space.ZeroResident(a.regionU.Base, a.regionU.Size); err != nil {
+		return fmt.Errorf("pkalloc: quarantine MU: %w", err)
+	}
+	a.untrusted = heap.NewFreeList(heap.NewPagePool(a.regionU), a.space)
+	a.uEpoch++
+	return nil
+}
+
+// UntrustedEpoch returns how many times the MU pool has been quarantined.
+// Holders of MU pointers can compare epochs to detect that their pointers
+// were invalidated by a reset.
+func (a *Allocator) UntrustedEpoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.uEpoch
 }
 
 // Stats returns per-pool counters.

@@ -302,3 +302,63 @@ func TestCompartmentString(t *testing.T) {
 		t.Error("compartment names wrong")
 	}
 }
+
+func TestQuarantineUntrustedResetsPool(t *testing.T) {
+	s, a := newAlloc(t)
+	mt, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke(mt, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	mu, err := a.UntrustedAlloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke(mu, []byte{0xaa, 0xbb}); err != nil {
+		t.Fatal(err)
+	}
+	if e := a.UntrustedEpoch(); e != 0 {
+		t.Fatalf("initial epoch = %d, want 0", e)
+	}
+
+	if err := a.QuarantineUntrusted(); err != nil {
+		t.Fatalf("QuarantineUntrusted: %v", err)
+	}
+	if e := a.UntrustedEpoch(); e != 1 {
+		t.Errorf("epoch after quarantine = %d, want 1", e)
+	}
+	// Pre-quarantine MU pointer is invalid and its bytes scrubbed.
+	if err := a.Free(mu); err == nil {
+		t.Error("free of pre-quarantine MU pointer succeeded")
+	}
+	buf := make([]byte, 2)
+	if err := s.Peek(mu, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 || buf[1] != 0 {
+		t.Errorf("MU bytes after quarantine = %v, want scrubbed", buf)
+	}
+	// MT is untouched.
+	if err := s.Peek(mt, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[1] != 2 {
+		t.Errorf("MT bytes after quarantine = %v, want intact", buf)
+	}
+	if err := a.Free(mt); err != nil {
+		t.Errorf("MT free after quarantine: %v", err)
+	}
+	// The fresh pool serves allocations again, from the region base.
+	mu2, err := a.UntrustedAlloc(64)
+	if err != nil {
+		t.Fatalf("MU alloc after quarantine: %v", err)
+	}
+	if !a.UntrustedRegion().Contains(mu2) {
+		t.Errorf("post-quarantine allocation %v outside MU", mu2)
+	}
+	if err := a.Free(mu2); err != nil {
+		t.Errorf("free after quarantine: %v", err)
+	}
+}

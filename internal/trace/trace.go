@@ -33,6 +33,12 @@ const (
 	// Span: a telemetry span ended (A = duration in nanoseconds,
 	// Note = span name).
 	Span
+	// Recover: the fault supervisor unwound a failed compartment call back
+	// to its recovery point (A = PKRU restored, Note = policy outcome).
+	Recover
+	// Heal: the supervisor migrated a misclassified allocation site MT→MU
+	// (A = object base, Note = AllocId).
+	Heal
 )
 
 func (k Kind) String() string {
@@ -49,6 +55,10 @@ func (k Kind) String() string {
 		return "record"
 	case Span:
 		return "span"
+	case Recover:
+		return "recover"
+	case Heal:
+		return "heal"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -70,8 +80,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d %-10s pkru=%#08x", e.Seq, e.Kind, e.A)
 	case Fault:
 		return fmt.Sprintf("#%d %-10s addr=%#x pkey=%d", e.Seq, e.Kind, e.A, e.B)
-	case Record:
+	case Record, Heal:
 		return fmt.Sprintf("#%d %-10s base=%#x site=%s", e.Seq, e.Kind, e.A, e.Note)
+	case Recover:
+		return fmt.Sprintf("#%d %-10s pkru=%#08x outcome=%s", e.Seq, e.Kind, e.A, e.Note)
 	case Span:
 		return fmt.Sprintf("#%d %-10s %s took=%v", e.Seq, e.Kind, e.Note, time.Duration(e.A))
 	default:

@@ -14,6 +14,10 @@ type Metrics struct {
 	MapFaults *telemetry.Counter
 	Traps     *telemetry.Counter
 	WRPKRU    *telemetry.Counter
+
+	// FaultRetries counts accesses re-executed after a sig.Handled repair
+	// (see Stats.FaultRetries).
+	FaultRetries *telemetry.Counter
 }
 
 // NewMetrics registers the thread counter families on reg and returns the
@@ -29,6 +33,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		MapFaults: reg.Counter("pkrusafe_vm_map_faults_total", "SIGSEGV deliveries with SEGV_MAPERR."),
 		Traps:     reg.Counter("pkrusafe_vm_traps_total", "SIGTRAP deliveries (single-step completions)."),
 		WRPKRU:    reg.Counter("pkrusafe_vm_wrpkru_total", "Writes to the PKRU register."),
+		FaultRetries: reg.Counter("pkrusafe_vm_fault_retries_total",
+			"Accesses re-executed after a signal handler repaired a fault."),
 	}
 }
 

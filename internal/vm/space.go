@@ -217,6 +217,72 @@ func (s *Space) SetPKey(base Addr, size uint64, key mpk.Key) error {
 	return nil
 }
 
+// SetPageKey retags the resident pages of [base, base+size) with a new
+// protection key without touching the region table — the in-place healing
+// primitive the fault supervisor uses to migrate a misclassified object
+// MT→MU. Unlike SetPKey it never splits a reservation, so allocator
+// region-ownership checks (pkalloc's regionT/regionU Contains tests) keep
+// seeing the original reservations; only the page-level key, which is what
+// the MMU checks, changes. Pages in the range that are not yet resident
+// are materialized first so the retag sticks. The range must be
+// page-aligned and fully reserved.
+func (s *Space) SetPageKey(base Addr, size uint64, key mpk.Key) error {
+	if base&PageMask != 0 || size&PageMask != 0 {
+		return fmt.Errorf("vm: set page key: range [%v, %#x) not page-aligned", base, uint64(base)+size)
+	}
+	if !key.Valid() {
+		return fmt.Errorf("vm: set page key: invalid protection key %d", key)
+	}
+	if size != 0 && (size > uint64(MaxAddr) || uint64(base) > uint64(MaxAddr)-size) {
+		return fmt.Errorf("vm: set page key: [%v, +%#x) outside %d-bit address space", base, size, AddrBits)
+	}
+	end := base + Addr(size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for a := base; a < end; {
+		r := s.regionAtLocked(a)
+		if r == nil {
+			return fmt.Errorf("vm: set page key: %v not reserved", a)
+		}
+		a = r.End()
+	}
+	for a := base; a < end; a += PageSize {
+		vpn := a.PageIndex()
+		p := s.pages[vpn]
+		if p == nil {
+			p = &page{data: make([]byte, PageSize)}
+			s.pages[vpn] = p
+		}
+		p.pkey = key
+	}
+	return nil
+}
+
+// ZeroResident clears the contents of every resident page in [base,
+// base+size), leaving keys and residency untouched. Quarantine uses it to
+// scrub a compromised untrusted pool before handing the address range to a
+// fresh allocator. The range must be page-aligned.
+func (s *Space) ZeroResident(base Addr, size uint64) error {
+	if base&PageMask != 0 || size&PageMask != 0 {
+		return fmt.Errorf("vm: zero resident: range [%v, %#x) not page-aligned", base, uint64(base)+size)
+	}
+	if size != 0 && (size > uint64(MaxAddr) || uint64(base) > uint64(MaxAddr)-size) {
+		return fmt.Errorf("vm: zero resident: [%v, +%#x) outside %d-bit address space", base, size, AddrBits)
+	}
+	end := base + Addr(size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for vpn, p := range s.pages {
+		a := Addr(vpn) << PageShift
+		if a >= base && a < end {
+			for i := range p.data {
+				p.data[i] = 0
+			}
+		}
+	}
+	return nil
+}
+
 // PKeyAt returns the protection key governing address a and whether a is
 // reserved at all.
 func (s *Space) PKeyAt(a Addr) (mpk.Key, bool) {

@@ -30,6 +30,13 @@ type Stats struct {
 	MapFaults uint64 // SIGSEGV deliveries with SEGV_MAPERR
 	Traps     uint64 // SIGTRAP deliveries (single-step completions)
 	WRPKRU    uint64 // writes to the PKRU register
+
+	// FaultRetries counts accesses re-executed after a handler reported
+	// sig.Handled. A retry is not a new fault: one access repaired and
+	// re-run on the first attempt contributes one PKU/map fault and one
+	// retry. Values approaching MaxFaultRetries per access indicate a
+	// handler that claims repairs without changing the rights.
+	FaultRetries uint64
 }
 
 // Thread is a simulated CPU context: the PKRU register, the trap flag used
@@ -43,12 +50,13 @@ type Thread struct {
 	pkru atomic.Uint32
 	trap atomic.Bool
 
-	loads     atomic.Uint64
-	stores    atomic.Uint64
-	pkuFaults atomic.Uint64
-	mapFaults atomic.Uint64
-	traps     atomic.Uint64
-	wrpkru    atomic.Uint64
+	loads        atomic.Uint64
+	stores       atomic.Uint64
+	pkuFaults    atomic.Uint64
+	mapFaults    atomic.Uint64
+	traps        atomic.Uint64
+	wrpkru       atomic.Uint64
+	faultRetries atomic.Uint64
 
 	// metrics, when non-nil, mirrors the counters above into the
 	// process-wide telemetry registry (see metrics.go).
@@ -100,20 +108,27 @@ func (t *Thread) SetTrapFlag(v bool) { t.trap.Store(v) }
 // Stats returns a snapshot of the thread's event counters.
 func (t *Thread) Stats() Stats {
 	return Stats{
-		Loads:     t.loads.Load(),
-		Stores:    t.stores.Load(),
-		PKUFaults: t.pkuFaults.Load(),
-		MapFaults: t.mapFaults.Load(),
-		Traps:     t.traps.Load(),
-		WRPKRU:    t.wrpkru.Load(),
+		Loads:        t.loads.Load(),
+		Stores:       t.stores.Load(),
+		PKUFaults:    t.pkuFaults.Load(),
+		MapFaults:    t.mapFaults.Load(),
+		Traps:        t.traps.Load(),
+		WRPKRU:       t.wrpkru.Load(),
+		FaultRetries: t.faultRetries.Load(),
 	}
 }
 
-// maxFaultRetries bounds how many times a single access may fault and be
-// repaired by a handler before the access is abandoned as fatal; it guards
-// against a handler that claims to fix a fault without actually changing
-// the rights.
-const maxFaultRetries = 8
+// MaxFaultRetries bounds how many times a single access may fault, be
+// reported sig.Handled, and be re-executed before the access is abandoned
+// with a terminal *Fault. It guards against livelock under a handler that
+// claims to repair a fault without actually changing the rights or the
+// mapping: after MaxFaultRetries fruitless repairs the final siginfo is
+// surfaced as if no handler existed. A genuinely repairing handler (the
+// profiling tracer's grant-step-restore loop) needs exactly one retry per
+// fault, so the bound is far above anything a correct handler reaches.
+// Retries are counted in Stats.FaultRetries and exported through
+// telemetry as pkrusafe_vm_fault_retries_total.
+const MaxFaultRetries = 8
 
 // access performs one checked data access of len(buf) bytes at addr,
 // faulting per page exactly as the MMU would.
@@ -186,11 +201,15 @@ func (t *Thread) checkPageSlow(a Addr, kind sig.AccessKind) (*page, error) {
 		default:
 			return p, nil
 		}
-		if try >= maxFaultRetries {
+		if try >= MaxFaultRetries {
 			return nil, &Fault{Info: info, PKRU: t.Rights()}
 		}
 		switch t.sigs.Dispatch(&info, t) {
 		case sig.Handled:
+			t.faultRetries.Add(1)
+			if m := t.metrics; m != nil {
+				m.FaultRetries.Inc()
+			}
 			continue // handler repaired the state; re-execute the access
 		default:
 			return nil, &Fault{Info: info, PKRU: t.Rights()}

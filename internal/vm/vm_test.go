@@ -425,3 +425,140 @@ func TestAddrHelpers(t *testing.T) {
 		t.Errorf("PageIndex = %#x", a.PageIndex())
 	}
 }
+
+// TestRetryExhaustionSurfacesTerminalFault pins the MaxFaultRetries
+// contract: a handler that keeps claiming repairs gets exactly
+// MaxFaultRetries re-executions, after which the access surfaces a
+// terminal *Fault carrying the final siginfo — no livelock, no silent
+// success — and the retries are visible in Stats.FaultRetries.
+func TestRetryExhaustionSurfacesTerminalFault(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Reserve("trusted", testBase, testSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	tbl := new(sig.Table)
+	dispatched := 0
+	tbl.Register(sig.SIGSEGV, sig.HandlerFunc(func(*sig.Info, sig.Context) sig.Action {
+		dispatched++
+		return sig.Handled // lie: nothing repaired
+	}))
+	th := NewThread(s, tbl)
+	th.SetRights(mpk.PermitAll.With(1, mpk.DenyAll))
+
+	_, err := th.Load64(testBase)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error = %v, want *Fault", err)
+	}
+	if f.Info.Code != sig.CodePKUErr || f.Info.Addr != uint64(testBase) {
+		t.Errorf("terminal fault info = %+v, want PKUERR at %v", f.Info, testBase)
+	}
+	if dispatched != MaxFaultRetries {
+		t.Errorf("handler dispatched %d times, want exactly MaxFaultRetries (%d)", dispatched, MaxFaultRetries)
+	}
+	st := th.Stats()
+	if st.FaultRetries != MaxFaultRetries {
+		t.Errorf("Stats.FaultRetries = %d, want %d", st.FaultRetries, MaxFaultRetries)
+	}
+	// Every retry re-delivered the same PKU fault.
+	if st.PKUFaults != MaxFaultRetries+1 {
+		t.Errorf("Stats.PKUFaults = %d, want %d", st.PKUFaults, MaxFaultRetries+1)
+	}
+}
+
+// TestGenuineRepairCostsOneRetry: the tracer-style grant handler needs one
+// retry per fault, nowhere near the exhaustion bound.
+func TestGenuineRepairCostsOneRetry(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Reserve("trusted", testBase, testSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	tbl := new(sig.Table)
+	tbl.Register(sig.SIGSEGV, sig.HandlerFunc(func(info *sig.Info, ctx sig.Context) sig.Action {
+		ctx.SetPKRU(uint32(mpk.PermitAll))
+		return sig.Handled
+	}))
+	th := NewThread(s, tbl)
+	th.SetRights(mpk.PermitAll.With(1, mpk.DenyAll))
+	if _, err := th.Load64(testBase); err != nil {
+		t.Fatalf("repaired access failed: %v", err)
+	}
+	if st := th.Stats(); st.FaultRetries != 1 {
+		t.Errorf("Stats.FaultRetries = %d, want 1", st.FaultRetries)
+	}
+}
+
+func TestSetPageKeyRetagsWithoutSplittingRegions(t *testing.T) {
+	s, th := newTestThread(t, 1)
+	r := s.Regions()[0]
+	obj := testBase + 4*PageSize
+	if err := th.Store64(obj, 7); err != nil { // resident before retag
+		t.Fatal(err)
+	}
+	if err := s.SetPageKey(obj, 2*PageSize, 0); err != nil {
+		t.Fatalf("SetPageKey: %v", err)
+	}
+	// The reservation is untouched: same single region, same bounds/key.
+	regs := s.Regions()
+	if len(regs) != 1 || regs[0] != r || regs[0].PKey != 1 || regs[0].Size != testSize {
+		t.Errorf("regions after SetPageKey = %+v, want original single region", regs)
+	}
+	// The page-level key (what the MMU checks) changed for exactly the range.
+	if k, _ := s.PKeyAt(obj); k != 0 {
+		t.Errorf("PKeyAt(retagged) = %d, want 0", k)
+	}
+	if k, _ := s.PKeyAt(obj + PageSize); k != 0 {
+		t.Errorf("PKeyAt(retagged, second page) = %d, want 0", k)
+	}
+	if k, _ := s.PKeyAt(obj - PageSize); k != 1 {
+		t.Errorf("PKeyAt(neighbour below) = %d, want untouched 1", k)
+	}
+	if k, _ := s.PKeyAt(obj + 2*PageSize); k != 1 {
+		t.Errorf("PKeyAt(neighbour above) = %d, want untouched 1", k)
+	}
+	// Contents survive (healing must not lose the object).
+	th.SetRights(mpk.PermitAll.With(1, mpk.DenyAll)) // untrusted view
+	if v, err := th.Load64(obj); err != nil || v != 7 {
+		t.Errorf("load after retag = %d, %v; want 7, nil", v, err)
+	}
+	if _, err := th.Load64(obj - PageSize); err == nil {
+		t.Error("neighbour page readable with key 1 denied")
+	}
+	// Validation mirrors SetPKey.
+	if err := s.SetPageKey(obj+1, PageSize, 0); err == nil {
+		t.Error("unaligned SetPageKey accepted")
+	}
+	if err := s.SetPageKey(0x9000_0000, PageSize, 0); err == nil {
+		t.Error("SetPageKey on unreserved range accepted")
+	}
+	if err := s.SetPageKey(obj, ^uint64(0)-PageSize+1, 0); err == nil {
+		t.Error("wrapping SetPageKey range accepted")
+	}
+	if err := s.SetPageKey(obj, PageSize, 16); err == nil {
+		t.Error("invalid key accepted")
+	}
+}
+
+func TestZeroResidentScrubsRange(t *testing.T) {
+	s, th := newTestThread(t, 0)
+	inside := testBase + 2*PageSize
+	outside := testBase + 10*PageSize
+	if err := th.Store64(inside, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store64(outside, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ZeroResident(testBase, 8*PageSize); err != nil {
+		t.Fatalf("ZeroResident: %v", err)
+	}
+	if v, _ := th.Load64(inside); v != 0 {
+		t.Errorf("scrubbed word = %#x, want 0", v)
+	}
+	if v, _ := th.Load64(outside); v != 0xbeef {
+		t.Errorf("word outside range = %#x, want untouched", v)
+	}
+	if err := s.ZeroResident(testBase+1, PageSize); err == nil {
+		t.Error("unaligned ZeroResident accepted")
+	}
+}
