@@ -1,4 +1,4 @@
-.PHONY: check test build fmt conform fuzz-smoke recover-demo
+.PHONY: check test build fmt conform fuzz-smoke recover-demo profile-demo
 
 check:
 	sh scripts/check.sh
@@ -28,6 +28,23 @@ recover-demo:
 	else echo "(crashed as expected)"; fi
 	@echo "--- -recover=heal must complete ---"
 	go run ./cmd/pkrusafe run examples/pkir/quickstart.pkir -recover=heal -heal-out=-
+
+# profile-demo runs the continuous-profiling closed loop headlessly
+# (docs/profiling.md): a fresh store bootstraps at the empty seed, the
+# healed delta commits as a candidate generation, the staged rollout
+# (half the replayed requests on the candidate) promotes it, and a second
+# run over the saved store finds nothing left to heal.
+profile-demo:
+	@rm -f /tmp/pkru-profile-demo-store.json
+	@echo "--- run 1: heal, commit, shadow, promote ---"
+	go run ./cmd/pkru-servo -config mpk -recover heal -requests 4 \
+		-profile-store /tmp/pkru-profile-demo-store.json -shadow-frac 0.5
+	@echo "--- run 2: the promoted generation leaves nothing to heal ---"
+	go run ./cmd/pkru-servo -config mpk -recover heal -requests 2 \
+		-profile-store /tmp/pkru-profile-demo-store.json -shadow-frac 0.5
+	@echo "--- the store's own diff of the promotion ---"
+	-go run ./cmd/pkru-profile diff -store /tmp/pkru-profile-demo-store.json
+	@rm -f /tmp/pkru-profile-demo-store.json
 
 fuzz-smoke:
 	go test -fuzz '^FuzzDifferential$$' -fuzztime 10s ./internal/conformance

@@ -419,6 +419,7 @@ func TestCLIRecoverHeal(t *testing.T) {
 pkrusafe:   #1 heal ir/untrusted.clib_write site=main@0.0
 pkrusafe:       would have died: write SEGV_PKUERR at 0x200000000000 (pkey 1)
 pkrusafe: healed 1 allocation site(s): main@0.0
+pkrusafe: crossings: 2 sampled, 1 allocation site(s) attributed: main@0.0
 pkrusafe: mpk run returned [1337] (2 transitions)
 `
 	if got := stderr.String(); got != goldenStderr {
@@ -528,5 +529,190 @@ func TestCLIConformSupervised(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "supervised-gate drill") {
 		t.Errorf("drill output:\n%s", out)
+	}
+}
+
+// TestCLIServoProfileRollout drives the continuous-profiling closed loop
+// through the shipped binary: a fresh store bootstraps at the empty seed
+// generation, the healed delta commits as a candidate, the staged rollout
+// promotes it, and the promoted state lands in the store file, the
+// metrics snapshot (pkrusafe_profile_generation gauge) and the trace dump
+// (crossing + profile-swap events). A second run over the saved store
+// must find nothing left to heal.
+func TestCLIServoProfileRollout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	servo := buildTool(t, "pkru-servo")
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	traceOut := filepath.Join(dir, "trace.txt")
+
+	out, err := exec.Command(servo, "-config", "mpk", "-profile-store", store,
+		"-shadow-frac", "0.5", "-requests", "4", "-recover", "heal",
+		"-metrics-json", metrics, "-trace-out", traceOut).CombinedOutput()
+	if err != nil {
+		t.Fatalf("rollout run: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"applying generation 0 (0 site(s))",
+		"crossings:",
+		"committed candidate generation 1 (source heal,",
+		"candidate 1 promoted",
+		"(control 1/2 faulted, shadow 0/2)",
+		"profile store saved to",
+		"(2 generation(s), active 1)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rollout output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The persisted store serves generation 1 as active.
+	data, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved struct {
+		Schema      int `json:"schema"`
+		Active      int `json:"active"`
+		Generations []struct {
+			Source string `json:"source"`
+		} `json:"generations"`
+	}
+	if err := json.Unmarshal(data, &saved); err != nil {
+		t.Fatal(err)
+	}
+	if saved.Schema != 1 || saved.Active != 1 || len(saved.Generations) != 2 || saved.Generations[1].Source != "heal" {
+		t.Errorf("saved store = %+v", saved)
+	}
+
+	// The generation gauge exported the promoted sequence, and the shadow
+	// arms were accounted.
+	mdata, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Series []struct {
+				Value       float64  `json:"value"`
+				LabelValues []string `json:"label_values"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(mdata, &snap); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case "pkrusafe_profile_generation":
+			found[m.Name] = true
+			if len(m.Series) != 1 || m.Series[0].Value != 1 {
+				t.Errorf("generation gauge = %+v, want value 1", m.Series)
+			}
+		case "pkrusafe_profile_shadow_requests_total":
+			found[m.Name] = true
+			for _, s := range m.Series {
+				if s.Value != 2 {
+					t.Errorf("shadow request series = %+v, want 2 per arm", m.Series)
+				}
+			}
+		case "pkrusafe_profile_crossings_total", "pkrusafe_profile_samples_total":
+			found[m.Name] = true
+		}
+	}
+	for _, name := range []string{
+		"pkrusafe_profile_generation",
+		"pkrusafe_profile_shadow_requests_total",
+		"pkrusafe_profile_crossings_total",
+		"pkrusafe_profile_samples_total",
+	} {
+		if !found[name] {
+			t.Errorf("metrics snapshot missing %s", name)
+		}
+	}
+
+	// The trace dump shows the loop: attributed crossings, then the swap.
+	tdata, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"crossing", "profile-swap generation=1 prev=0 source=heal"} {
+		if !strings.Contains(string(tdata), want) {
+			t.Errorf("trace dump missing %q:\n%s", want, tdata)
+		}
+	}
+
+	// Second run over the promoted store: nothing to heal, no new
+	// generation, active stands.
+	out, err = exec.Command(servo, "-config", "mpk", "-profile-store", store,
+		"-shadow-frac", "0.5", "-requests", "2", "-recover", "heal").CombinedOutput()
+	if err != nil {
+		t.Fatalf("second run: %v\n%s", err, out)
+	}
+	text = string(out)
+	for _, want := range []string{
+		"applying generation 1",
+		"no heal delta; generation 1 stands",
+		"(2 generation(s), active 1)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("second run missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCLIProfileStoreDiffGolden pins pkru-profile's store-diff rendering
+// byte for byte on a fixed store: the added/removed/retained sections and
+// the re-tighten proposals are all deterministic (sorted sites, explicit
+// counts), so any drift is a semantics change. A non-empty re-tighten
+// section exits 1, mirroring the plain diff's missing-sites contract.
+func TestCLIProfileStoreDiffGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	profTool := buildTool(t, "pkru-profile")
+	store := filepath.Join(t.TempDir(), "store.json")
+	const fixture = `{
+  "schema": 1,
+  "active": 1,
+  "generations": [
+    {"seq": 0, "parent": -1, "source": "seed",
+     "sites": {"a@0.0": {"faults": 1, "bytes": 64}, "b@0.0": {"faults": 1, "bytes": 32}}},
+    {"seq": 1, "parent": 0, "source": "merge",
+     "sites": {"a@0.0": {"faults": 2, "bytes": 128}, "c@1.0": {"faults": 1, "bytes": 16}}}
+  ],
+  "last_seen": {"a@0.0": 0, "b@0.0": 0, "c@1.0": 1}
+}`
+	if err := os.WriteFile(store, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `store diff: generation 0 -> 1
+added (1):
+  + c@1.0
+removed (1):
+  - b@0.0
+retained (1):
+  = a@0.0
+re-tighten candidates (window 1, proposed MU->MT demotions) (1):
+  ~ a@0.0 last crossed in generation 0
+`
+	for run := 0; run < 2; run++ {
+		out, err := exec.Command(profTool, "diff", "-store", store, "-window", "1").CombinedOutput()
+		if err == nil {
+			t.Fatalf("run %d: diff with re-tighten proposals should exit nonzero:\n%s", run, out)
+		}
+		if string(out) != golden {
+			t.Errorf("run %d output differs from golden:\n--- got ---\n%s--- want ---\n%s", run, out, golden)
+		}
+	}
+	// A window wide enough to clear the proposals exits zero.
+	if out, err := exec.Command(profTool, "diff", "-store", store, "-window", "5").CombinedOutput(); err != nil {
+		t.Errorf("wide-window diff should pass: %v\n%s", err, out)
 	}
 }

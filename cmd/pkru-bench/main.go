@@ -10,6 +10,7 @@
 //	pkru-bench -experiment table1     Table 1 (all four suites)
 //	pkru-bench -experiment sites      §5.3 allocation-site statistics
 //	pkru-bench -experiment recovery   fault supervision overhead (fault-free)
+//	pkru-bench -experiment profiling  crossing-sampler overhead (docs/profiling.md)
 //	pkru-bench -experiment all        everything above
 //
 // Absolute times are the simulator's, not the paper testbed's; the
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "micro|fig3|table1|dromaeo|kraken|octane|jetstream|sites|ablation|recovery|all")
+	experiment := flag.String("experiment", "all", "micro|fig3|table1|dromaeo|kraken|octane|jetstream|sites|ablation|recovery|profiling|all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (lower = faster)")
 	repeats := flag.Int("repeats", 3, "timed repetitions per configuration (min kept)")
 	microIters := flag.Int("micro-iters", 200000, "iterations per micro-benchmark measurement")
@@ -113,6 +114,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
+	if run("profiling") {
+		rs, stats, err := bench.RunProfiling(*microIters)
+		exitOn(err)
+		fmt.Println(bench.FormatProfiling(rs, stats))
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "profiling.json")
+			f, err := os.Create(path)
+			exitOn(err)
+			exitOn(bench.WriteProfilingJSON(f, *microIters, rs, stats))
+			exitOn(f.Close())
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
 	if !anyExperiment(*experiment) {
 		fmt.Fprintf(os.Stderr, "pkru-bench: unknown experiment %q\n", *experiment)
 		flag.Usage()
@@ -130,7 +144,7 @@ func writeReport(path string, r bench.SuiteReport, write func(io.Writer, bench.S
 
 func anyExperiment(name string) bool {
 	switch name {
-	case "micro", "fig3", "table1", "dromaeo", "kraken", "octane", "jetstream", "sites", "ablation", "recovery", "all":
+	case "micro", "fig3", "table1", "dromaeo", "kraken", "octane", "jetstream", "sites", "ablation", "recovery", "profiling", "all":
 		return true
 	}
 	return false

@@ -16,9 +16,21 @@
 //
 // -metrics / -metrics-json export the run's telemetry in Prometheus text
 // or JSON form ("-" = stdout); -listen serves the live observability
-// endpoints (/metrics, /snapshot.json, /trace, /healthz, /debug/pprof)
+// endpoints (/metrics, /snapshot.json, /trace, /healthz, /debug/pprof,
+// and — with -profile-store — /profile, /profile/diff, /profile/shadow)
 // while the workload runs. If the script dies on an MPK violation the
 // crash report is printed to stderr before exit 1.
+//
+// -profile-store closes the profiling loop (docs/profiling.md): the
+// active generation of a generational profile store supplies the applied
+// profile, the crossing sampler feeds live boundary observations back,
+// and heal deltas are committed as a candidate generation. With
+// -shadow-frac F > 0 the candidate is staged: the request workload is
+// replayed with fraction F of requests on the candidate (shadow arm) and
+// the rest on the active generation (control arm); the candidate is
+// promoted only if the shadow arm's fault rate does not regress. The
+// store file is rewritten at exit either way. -trace-out persists the
+// trace ring — including crossing and profile-swap events — to a file.
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/profstore"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -75,6 +88,9 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /snapshot.json, /trace, /healthz and /debug/pprof on this address while running")
 	recoverName := flag.String("recover", "abort", "compartment fault recovery policy: abort|retry|quarantine|heal")
 	requests := flag.Int("requests", 1, "execute the script this many times as independent requests")
+	profileStore := flag.String("profile-store", "", "generational profile store JSON (created if missing); supplies the applied profile and absorbs heal deltas")
+	shadowFrac := flag.Float64("shadow-frac", 0, "stage committed candidate generations on this fraction of replayed requests before promoting")
+	traceOut := flag.String("trace-out", "", `write the trace ring to this path at exit ("-" = stdout)`)
 	flag.Parse()
 
 	policy, err := supervise.ParsePolicy(*recoverName)
@@ -107,8 +123,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	var store *profstore.Store
+	if *profileStore != "" {
+		if *profileIn != "" {
+			fmt.Fprintln(os.Stderr, "pkru-servo: -profile and -profile-store are mutually exclusive")
+			os.Exit(2)
+		}
+		if cfg != core.Alloc && cfg != core.MPK {
+			fmt.Fprintf(os.Stderr, "pkru-servo: -profile-store needs -config alloc or mpk (got %v)\n", cfg)
+			os.Exit(2)
+		}
+		store, err = profstore.LoadFileOrNew(*profileStore)
+		exitOn(err)
+	}
+
 	var prof *profile.Profile
-	if cfg == core.Alloc || cfg == core.MPK {
+	if store != nil {
+		// The store's active generation is the applied profile; a fresh
+		// store starts from the empty seed and heals its way forward.
+		prof = store.Active().Sites
+		fmt.Fprintf(os.Stderr, "pkru-servo: profile store %s: applying generation %d (%d site(s))\n",
+			*profileStore, store.ActiveSeq(), prof.Len())
+	} else if cfg == core.Alloc || cfg == core.MPK {
 		prof = profile.New()
 		if *profileIn != "" {
 			data, err := os.ReadFile(*profileIn)
@@ -135,11 +171,18 @@ func main() {
 		Trace:        trace.NewRing(traceCap),
 		Forensics:    true,
 		Supervision:  supervise.Config{Policy: policy},
+		Crossings:    store != nil,
 	}
 	var reg *telemetry.Registry
-	if *metrics != "" || *metricsJSON != "" || *listen != "" {
+	if *metrics != "" || *metricsJSON != "" || *listen != "" || store != nil {
 		reg = telemetry.NewRegistry()
 		opts.Telemetry = reg
+	}
+	var rollout *profstore.Rollout
+	if store != nil {
+		store.SetTrace(opts.Trace)
+		store.SetTelemetry(reg)
+		rollout = profstore.NewRollout(store, *shadowFrac, reg)
 	}
 
 	b, err := browser.New(cfg, prof, opts)
@@ -147,7 +190,8 @@ func main() {
 
 	var srv *obs.Server
 	if *listen != "" {
-		srv, err = obs.ListenAndServe(*listen, obs.ServerConfig{Registry: reg, Ring: opts.Trace})
+		srv, err = obs.ListenAndServe(*listen, obs.ServerConfig{
+			Registry: reg, Ring: opts.Trace, Profiles: store, Rollout: rollout})
 		exitOn(err)
 		fmt.Fprintf(os.Stderr, "pkru-servo: observability server on %s\n", srv.URL())
 	}
@@ -187,6 +231,13 @@ func main() {
 			served, *requests, dropped, policy)
 	}
 
+	if store != nil {
+		runProfilePlane(b, store, rollout, cfg, *shadowFrac, *requests, html, script, policy, reg)
+		exitOn(store.SaveFile(*profileStore))
+		fmt.Fprintf(os.Stderr, "pkru-servo: profile store saved to %s (%d generation(s), active %d)\n",
+			*profileStore, store.Len(), store.ActiveSeq())
+	}
+
 	st := b.Stats()
 	fmt.Printf("config=%v transitions=%d dom-ops=%d sites=%d shared-sites=%d %%MU=%.2f%%\n",
 		cfg, st.Transitions, st.DOMOps, st.TotalSites, st.UntrustedSites, 100*st.UntrustedShare)
@@ -208,7 +259,86 @@ func main() {
 		exitOn(os.WriteFile(*profileOut, data, 0o644))
 		fmt.Printf("profile with %d shared sites written to %s\n", p.Len(), *profileOut)
 	}
+	if *traceOut != "" {
+		writeTo(*traceOut, func(w io.Writer) error { opts.Trace.Dump(w); return nil })
+	}
 	closeServer(srv)
+}
+
+// runProfilePlane closes the profiling loop after the serving phase: live
+// crossing observations feed re-tighten bookkeeping, the heal delta (if
+// any) is committed as a candidate generation, and — with a shadow
+// fraction — the candidate is staged by replaying the request workload
+// across a control browser (active generation) and a shadow browser
+// (candidate), promoting only if the shadow arm's fault rate does not
+// regress past control's.
+func runProfilePlane(b *browser.Browser, store *profstore.Store, rollout *profstore.Rollout,
+	cfg core.BuildConfig, frac float64, requests int, html, script string,
+	policy supervise.Policy, reg *telemetry.Registry) {
+
+	if cs := b.Prog.Crossings(); cs.Sampled() > 0 {
+		cs.FeedStore(store)
+		fmt.Fprintf(os.Stderr, "pkru-servo: crossings: %d sampled, %d allocation site(s) attributed\n",
+			cs.Sampled(), len(cs.Sites()))
+	}
+	delta := b.Prog.Supervisor().Delta()
+	if delta.Len() == 0 {
+		fmt.Fprintf(os.Stderr, "pkru-servo: profile store: no heal delta; generation %d stands\n", store.ActiveSeq())
+		return
+	}
+	cand := store.Commit(delta, "heal")
+	fmt.Fprintf(os.Stderr, "pkru-servo: profile store: committed candidate generation %d (source heal, %d site(s))\n",
+		cand.Seq, cand.Sites.Len())
+	if frac <= 0 {
+		fmt.Fprintf(os.Stderr, "pkru-servo: profile store: -shadow-frac 0; candidate %d held for offline promotion\n", cand.Seq)
+		return
+	}
+
+	// Staged comparison: fresh browsers per arm so the control arm really
+	// runs the pre-heal active generation (the serving browser has already
+	// healed itself and would mask the regression being tested for).
+	rollout.SetCandidate(cand.Seq)
+	newArm := func(p *profile.Profile) *browser.Browser {
+		ab, err := browser.New(cfg, p, browser.Options{
+			ScriptOutput: io.Discard,
+			Forensics:    true,
+			Supervision:  supervise.Config{Policy: policy},
+			Telemetry:    reg,
+		})
+		exitOn(err)
+		exitOn(ab.LoadHTML(html))
+		return ab
+	}
+	arms := map[string]*browser.Browser{
+		profstore.ArmControl: newArm(store.Active().Sites),
+		profstore.ArmShadow:  newArm(cand.Sites),
+	}
+	for i := 0; i < requests; i++ {
+		arm := rollout.Assign()
+		ab := arms[arm]
+		before := len(ab.Prog.Supervisor().Events())
+		_, err := ab.ExecScript(script)
+		fault := false
+		var cerr *supervise.CompartmentError
+		if errors.As(err, &cerr) {
+			fault = true
+		} else {
+			exitOn(err)
+		}
+		if len(ab.Prog.Supervisor().Events()) > before {
+			fault = true
+		}
+		rollout.Record(arm, fault)
+	}
+	dec, err := rollout.Decide()
+	exitOn(err)
+	verdict := "rolled back"
+	if dec.Promote {
+		verdict = "promoted"
+	}
+	fmt.Fprintf(os.Stderr, "pkru-servo: profile rollout: candidate %d %s: %s (control %d/%d faulted, shadow %d/%d)\n",
+		dec.Candidate, verdict, dec.Reason,
+		dec.Control.Faults, dec.Control.Requests, dec.Shadow.Faults, dec.Shadow.Requests)
 }
 
 // writeTo writes via f to path, with "-" meaning stdout. File output is

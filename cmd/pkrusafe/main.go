@@ -318,7 +318,11 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 	ring := trace.NewRing(ringCap)
 	policy, err := supervise.ParsePolicy(o.recoverName)
 	exitOn(err)
-	opts := core.Options{Trace: ring, Forensics: true, Supervision: supervise.Config{Policy: policy}}
+	// The crossing sampler rides every run: forward-gate arguments are
+	// attributed to their allocation sites so the run can report what
+	// actually crossed the boundary (and feed a profile store).
+	opts := core.Options{Trace: ring, Forensics: true, Crossings: true,
+		Supervision: supervise.Config{Policy: policy}}
 	var reg *telemetry.Registry
 	if table || o.metrics != "" || o.metricsJSON != "" || o.listen != "" {
 		reg = telemetry.NewRegistry()
@@ -360,8 +364,28 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 		os.Exit(1)
 	}
 	reportRecovery(os.Stderr, prog.Supervisor(), true)
+	reportCrossings(os.Stderr, prog)
 	fmt.Fprintf(os.Stderr, "pkrusafe: %v run returned %v (%d transitions)\n", cfg, res, prog.Transitions())
 	closeServer(srv)
+}
+
+// reportCrossings prints the crossing sampler's attribution summary.
+// Silent when no forward gate was crossed (base/alloc configs).
+func reportCrossings(w io.Writer, prog *core.Program) {
+	cs := prog.Crossings()
+	if cs.Sampled() == 0 {
+		return
+	}
+	sites := cs.Sites()
+	names := make([]string, len(sites))
+	for i, id := range sites {
+		names[i] = id.String()
+	}
+	line := fmt.Sprintf("pkrusafe: crossings: %d sampled, %d allocation site(s) attributed", cs.Sampled(), len(sites))
+	if len(names) > 0 {
+		line += ": " + strings.Join(names, ", ")
+	}
+	fmt.Fprintln(w, line)
 }
 
 // reportRecovery prints the supervisor's recovery log: the "crash

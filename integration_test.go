@@ -1,11 +1,21 @@
 package repro
 
 import (
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 
 	"repro/internal/browser"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/profstore"
+	"repro/internal/supervise"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -121,4 +131,156 @@ func measureTransitions(t *testing.T, script string) uint64 {
 		t.Fatal(err)
 	}
 	return b.Stats().Transitions
+}
+
+// TestClosedProfilingLoop drives the continuous-profiling plane end to
+// end, in process (docs/profiling.md): a supervised MPK run over an empty
+// profile generation heals the sites the workload actually shares; the
+// heal delta commits as a candidate generation; a staged rollout replays
+// the workload split across a control browser (old generation, still
+// faulting) and a shadow browser (candidate, clean); the non-regressing
+// shadow arm promotes the candidate; and the whole sequence is visible
+// through /profile, /profile/diff, /profile/shadow, /metrics and /trace.
+func TestClosedProfilingLoop(t *testing.T) {
+	const html = `<body><div id="x">seed</div></body>`
+	const script = `setText(byId("x"), "closed-loop"); 1;`
+
+	store := profstore.New()
+	ring := trace.NewRing(512)
+	reg := telemetry.NewRegistry()
+	store.SetTrace(ring)
+	store.SetTelemetry(reg)
+
+	heal := browser.Options{
+		ScriptOutput: io.Discard,
+		Trace:        ring,
+		Telemetry:    reg,
+		Crossings:    true,
+		Supervision:  supervise.Config{Policy: supervise.Heal},
+	}
+	serving, err := browser.New(core.MPK, store.Active().Sites, heal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serving.LoadHTML(html); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serving.ExecScript(script); err != nil {
+		t.Fatalf("healing run: %v", err)
+	}
+
+	cs := serving.Prog.Crossings()
+	if cs.Sampled() == 0 {
+		t.Fatal("crossing sampler observed nothing")
+	}
+	cs.FeedStore(store)
+	delta := serving.Prog.Supervisor().Delta()
+	if delta.Len() == 0 {
+		t.Fatal("healing run produced no delta; nothing to commit")
+	}
+	cand := store.Commit(delta, "heal")
+	if store.ActiveSeq() != 0 {
+		t.Fatalf("commit must not activate (active %d)", store.ActiveSeq())
+	}
+
+	// Staged rollout: fresh per-arm browsers so control genuinely runs
+	// the pre-heal generation.
+	rollout := profstore.NewRollout(store, 0.5, reg)
+	rollout.SetCandidate(cand.Seq)
+	newArm := func(p *profile.Profile) *browser.Browser {
+		ab, err := browser.New(core.MPK, p, heal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ab.LoadHTML(html); err != nil {
+			t.Fatal(err)
+		}
+		return ab
+	}
+	arms := map[string]*browser.Browser{
+		profstore.ArmControl: newArm(store.Active().Sites),
+		profstore.ArmShadow:  newArm(cand.Sites),
+	}
+	for i := 0; i < 4; i++ {
+		arm := rollout.Assign()
+		ab := arms[arm]
+		before := len(ab.Prog.Supervisor().Events())
+		_, err := ab.ExecScript(script)
+		fault := err != nil || len(ab.Prog.Supervisor().Events()) > before
+		rollout.Record(arm, fault)
+	}
+	dec, err := rollout.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Promote {
+		t.Fatalf("candidate not promoted: %+v", dec)
+	}
+	if dec.Control.Faults == 0 {
+		t.Fatalf("control arm never faulted — the comparison proved nothing: %+v", dec)
+	}
+	if dec.Shadow.Faults != 0 {
+		t.Fatalf("shadow arm faulted under the candidate: %+v", dec)
+	}
+	if store.ActiveSeq() != cand.Seq {
+		t.Fatalf("store active = %d, want promoted %d", store.ActiveSeq(), cand.Seq)
+	}
+
+	// The promoted state is observable end to end.
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{
+		Registry: reg, Ring: ring, Profiles: store, Rollout: rollout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fetch := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	var view struct {
+		Active int    `json:"active"`
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal([]byte(fetch("/profile")), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Active != cand.Seq || view.Source != "heal" {
+		t.Errorf("/profile serves %+v, want promoted generation %d", view, cand.Seq)
+	}
+
+	var diff struct {
+		Added []string `json:"added"`
+	}
+	if err := json.Unmarshal([]byte(fetch("/profile/diff")), &diff); err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Added) == 0 {
+		t.Error("/profile/diff shows no added sites for the healed generation")
+	}
+
+	if body := fetch("/profile/shadow"); !strings.Contains(body, `"state": "promoted"`) {
+		t.Errorf("/profile/shadow = %s", body)
+	}
+	if body := fetch("/metrics"); !strings.Contains(body, "pkrusafe_profile_generation 1") {
+		t.Error("/metrics missing promoted generation gauge")
+	}
+	traceBody := fetch("/trace")
+	for _, want := range []string{"crossing", "profile-swap"} {
+		if !strings.Contains(traceBody, want) {
+			t.Errorf("/trace missing %q events", want)
+		}
+	}
 }

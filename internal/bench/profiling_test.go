@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunProfiling smoke-runs the crossing-sampler benchmark and checks
+// the report plumbing: both workloads measured, the sampler really
+// attributed the site-tracked buffer, and the schema-versioned JSON
+// round-trip.
+func TestRunProfiling(t *testing.T) {
+	rs, stats, err := RunProfiling(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if r.Unsampled <= 0 || r.Sampled <= 0 {
+			t.Errorf("%s: non-positive timing %+v", r.Name, r)
+		}
+		if r.Factor <= 0 {
+			t.Errorf("%s: factor = %v", r.Name, r.Factor)
+		}
+	}
+	if stats.Crossings == 0 {
+		t.Error("sampler observed no crossings")
+	}
+	if len(stats.Sites) != 1 || stats.Sites[0] != "micro::shared@0.0" {
+		t.Errorf("attributed sites = %v, want [micro::shared@0.0]", stats.Sites)
+	}
+	text := FormatProfiling(rs, stats)
+	for _, want := range []string{"empty", "read_one", "sampled", "micro::shared@0.0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, text)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteProfilingJSON(&buf, 200, rs, stats); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema     int      `json:"schema"`
+		Experiment string   `json:"experiment"`
+		Sites      []string `json:"sites"`
+		Results    []struct {
+			Name   string  `json:"name"`
+			Factor float64 `json:"factor"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("JSON report: %v\n%s", err, buf.String())
+	}
+	if rep.Schema != ProfilingReportSchema || rep.Experiment != "profiling" || len(rep.Results) != 2 || len(rep.Sites) != 1 {
+		t.Errorf("report header = %+v", rep)
+	}
+}

@@ -72,6 +72,12 @@ type Options struct {
 	// fail-stop behaviour; any other policy shields each script execution
 	// so one poisoned request cannot take the whole browser down.
 	Supervision supervise.Config
+	// Crossings attaches the boundary-crossing sampler to the program so
+	// gated engine calls are attributed to the allocation sites whose
+	// objects they carry across (see core.Options.Crossings).
+	Crossings bool
+	// CrossingInterval samples every Nth forward crossing; <= 1 keeps all.
+	CrossingInterval int
 }
 
 // New builds a browser under the given configuration. Alloc and MPK
@@ -87,10 +93,12 @@ func New(cfg core.BuildConfig, prof *profile.Profile, opts ...Options) (*Browser
 		return nil, err
 	}
 	prog, err := core.NewProgram(reg, cfg, prof, core.Options{
-		Telemetry:   opt.Telemetry,
-		Trace:       opt.Trace,
-		Forensics:   opt.Forensics,
-		Supervision: opt.Supervision,
+		Telemetry:        opt.Telemetry,
+		Trace:            opt.Trace,
+		Forensics:        opt.Forensics,
+		Supervision:      opt.Supervision,
+		Crossings:        opt.Crossings,
+		CrossingInterval: opt.CrossingInterval,
 	})
 	if err != nil {
 		return nil, err

@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pkalloc"
 	"repro/internal/profile"
+	"repro/internal/profstore"
 	"repro/internal/provenance"
 	"repro/internal/sig"
 	"repro/internal/supervise"
@@ -113,6 +114,7 @@ type Program struct {
 	tracer  *provenance.Tracer
 	rec     *obs.Recorder         // fault forensics, nil unless Options.Forensics
 	sup     *supervise.Supervisor // nil unless Options.Supervision enables recovery
+	sampler *profstore.Sampler    // crossing sampler, nil unless Options.Crossings
 	applied *profile.Profile      // profile consumed by Alloc/MPK builds
 
 	mu    sync.Mutex
@@ -170,6 +172,15 @@ type Options struct {
 	// implies Forensics, since healing resolves fault addresses through
 	// the forensics shadow store.
 	Supervision supervise.Config
+	// Crossings attaches a boundary-crossing sampler: every forward gate
+	// traversal's arguments are resolved through the forensics shadow
+	// store and attributed to their allocation sites (implies Forensics).
+	// The observations feed the continuous-profiling plane — telemetry
+	// (pkrusafe_profile_*), trace Crossing events and, via FeedStore, the
+	// generational profile store's re-tighten bookkeeping.
+	Crossings bool
+	// CrossingInterval samples every Nth forward crossing; <= 1 keeps all.
+	CrossingInterval int
 }
 
 // NewProgram builds a program from annotated libraries under the given
@@ -216,9 +227,10 @@ func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts 
 	if opt.Telemetry != nil {
 		p.attachTelemetry(opt.Telemetry)
 	}
-	if opt.Supervision.Policy == supervise.Heal {
-		// Healing resolves PKUERR addresses to allocation sites through
-		// the forensics shadow store, so the recorder must be present.
+	if opt.Supervision.Policy == supervise.Heal || opt.Crossings {
+		// Healing and crossing attribution both resolve addresses to
+		// allocation sites through the forensics shadow store, so the
+		// recorder must be present.
 		opt.Forensics = true
 	}
 	if opt.Forensics {
@@ -246,6 +258,18 @@ func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts 
 		// Installed immediately; applications that register their own
 		// SIGSEGV handlers first are chained to automatically.
 		p.tracer.Install(sigs)
+	}
+	if opt.Crossings {
+		p.sampler = profstore.NewSampler(profstore.SamplerConfig{
+			Resolve: func(addr uint64) (profile.AllocID, uint64, bool) {
+				e, ok := p.rec.Lookup(addr)
+				return e.ID, e.Size, ok
+			},
+			Interval:  opt.CrossingInterval,
+			Telemetry: opt.Telemetry,
+			Ring:      opt.Trace,
+		})
+		p.runtime.SetCrossingSink(p.sampler)
 	}
 	if opt.Supervision.Policy != supervise.Abort {
 		p.sup = supervise.New(opt.Supervision, supervise.Deps{
@@ -364,6 +388,10 @@ func (p *Program) Forensics() *obs.Recorder { return p.rec }
 // build keeps the default Abort policy. The nil supervisor is safe to
 // use: its Call/Shield degrade to plain calls.
 func (p *Program) Supervisor() *supervise.Supervisor { return p.sup }
+
+// Crossings returns the boundary-crossing sampler, or nil when the build
+// was created without Options.Crossings. The nil sampler is safe to use.
+func (p *Program) Crossings() *profstore.Sampler { return p.sampler }
 
 // RecordedProfile returns the profile collected by a Profiling build.
 func (p *Program) RecordedProfile() (*profile.Profile, error) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mpk"
 	"repro/internal/pkalloc"
@@ -56,7 +57,26 @@ type Runtime struct {
 	transitions   atomic.Uint64
 	aborted       atomic.Bool
 	tel           *runtimeTelemetry
+	sink          CrossingSink
 }
+
+// CrossingSink receives one observation per forward (T→U) gate traversal:
+// the target library, the argument words the call carried across the
+// boundary, and the gate's enter→restore latency. The profiling plane's
+// crossing sampler implements this to attribute boundary crossings to
+// allocation sites; the interface lives here so implementations need not
+// import ffi. Observations are delivered from the gate's exit path, after
+// rights are restored, so a sink may safely inspect trusted state.
+type CrossingSink interface {
+	ObserveCrossing(lib string, args []uint64, latency time.Duration)
+}
+
+// SetCrossingSink attaches a forward-gate observation sink (nil detaches).
+// With no sink attached the gated call path pays one pointer test.
+func (rt *Runtime) SetCrossingSink(s CrossingSink) { rt.sink = s }
+
+// CrossingSink returns the attached sink, if any.
+func (rt *Runtime) CrossingSink() CrossingSink { return rt.sink }
 
 // runtimeTelemetry holds the registry handles the FFI layer reports into.
 // A nil *runtimeTelemetry (the default) disables reporting; the gated call
@@ -268,6 +288,17 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Fun
 		}
 		sp = telemetry.StartSpan(tel.gateLat.With(libName), t.rt.ring, "gate:"+libName)
 	}
+	// Forward crossings are the profiling plane's signal: what trusted data
+	// flowed into U and through which gate. The timestamp is taken before
+	// the enter WRPKRU so the reported latency matches the gate-latency
+	// histogram's enter→restore span.
+	sink := t.rt.sink
+	var crossStart time.Time
+	if sink != nil && trust == Untrusted {
+		crossStart = time.Now()
+	} else {
+		sink = nil
+	}
 	prev := t.VM.Rights()
 	t.stack = append(t.stack, prev)
 	t.trust = append(t.trust, trust)
@@ -285,6 +316,9 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Fun
 			t.rt.ring.Emit(trace.Event{Kind: trace.GateExit, A: uint64(uint32(prev))})
 		}
 		sp.End()
+		if sink != nil {
+			sink.ObserveCrossing(libName, args, time.Since(crossStart))
+		}
 	}()
 	// The gate's self-check: the PKRU we installed must be the one the gate
 	// was compiled to enforce. On real hardware this defeats whole-function

@@ -2,25 +2,39 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/profstore"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
-// ServerConfig selects what a Server exposes. Nil fields disable the
-// corresponding endpoint's content but keep the route responding, so
-// scrapers never see transient 404s during startup.
+// ServerConfig selects what a Server exposes. Nil Registry/Ring fields
+// disable the corresponding endpoint's content but keep the route
+// responding, so scrapers never see transient 404s during startup. The
+// profile endpoints are different: a process without a profile store has
+// no profiling plane at all, so /profile, /profile/diff and
+// /profile/shadow return 404 when their backing field is nil — and cost
+// nothing, preserving the zero-goroutines/zero-allocations-when-unset
+// contract.
 type ServerConfig struct {
 	// Registry backs /metrics (Prometheus text) and /snapshot.json.
 	Registry *telemetry.Registry
 	// Ring backs /trace (recent runtime events, oldest first).
 	Ring *trace.Ring
+	// Profiles backs /profile (the active generation as schema-versioned
+	// JSON) and /profile/diff?from=N&to=M[&window=W] (deterministic
+	// generation diffs with re-tighten proposals).
+	Profiles *profstore.Store
+	// Rollout backs /profile/shadow (staged-rollout arm accounting).
+	Rollout *profstore.Rollout
 }
 
 // shutdownTimeout bounds how long Close waits for in-flight requests.
@@ -44,6 +58,9 @@ type Server struct {
 //	/metrics        Prometheus text exposition of the registry
 //	/snapshot.json  schema-versioned JSON snapshot of every metric
 //	/trace          recent trace-ring events, oldest first
+//	/profile        active profile generation (404 without a store)
+//	/profile/diff   generation diff + re-tighten proposals (404 without a store)
+//	/profile/shadow staged-rollout status (404 without a rollout)
 //	/healthz        liveness probe
 //	/debug/pprof/*  the standard Go profiling handlers
 func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
@@ -72,6 +89,62 @@ func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
 			return
 		}
 		cfg.Ring.Dump(w)
+	})
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Profiles == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, cfg.Profiles.View())
+	})
+	mux.HandleFunc("/profile/diff", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Profiles == nil {
+			http.NotFound(w, r)
+			return
+		}
+		// Defaults compare the active generation against its parent (the
+		// seed generation diffs against itself, which is empty).
+		active := cfg.Profiles.Active()
+		from, to, window := active.Parent, active.Seq, 0
+		if from < 0 {
+			from = active.Seq
+		}
+		q := r.URL.Query()
+		parse := func(name string, dst *int) bool {
+			s := q.Get(name)
+			if s == "" {
+				return true
+			}
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad %s %q", name, s), http.StatusBadRequest)
+				return false
+			}
+			*dst = n
+			return true
+		}
+		if !parse("from", &from) || !parse("to", &to) || !parse("window", &window) {
+			return
+		}
+		d, err := cfg.Profiles.Diff(from, to, window)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, d)
+	})
+	mux.HandleFunc("/profile/shadow", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Rollout == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, cfg.Rollout.Status())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,6 +1,7 @@
 package obs_test
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"runtime"
@@ -9,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/profstore"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -129,5 +132,108 @@ func TestServerBadAddress(t *testing.T) {
 	var nilSrv *obs.Server
 	if err := nilSrv.Close(); err != nil {
 		t.Errorf("nil server Close: %v", err)
+	}
+}
+
+func TestServerProfileEndpoints(t *testing.T) {
+	store := profstore.New()
+	a := profile.AllocID{Func: "a", Block: 0, Site: 0}
+	delta := profile.New()
+	delta.Add(a, 64)
+	gen := store.Commit(delta, "heal")
+	if err := store.Promote(gen.Seq); err != nil {
+		t.Fatal(err)
+	}
+	rollout := profstore.NewRollout(store, 0.5, nil)
+
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{Profiles: store, Rollout: rollout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := srv.URL()
+
+	code, body, hdr := get(t, base+"/profile")
+	if code != 200 {
+		t.Fatalf("/profile = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/profile content-type = %q", ct)
+	}
+	var view struct {
+		Schema int    `json:"schema"`
+		Active int    `json:"active"`
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("/profile is not JSON: %v\n%s", err, body)
+	}
+	if view.Schema != profstore.StoreSchema || view.Active != 1 || view.Source != "heal" {
+		t.Errorf("/profile view = %+v", view)
+	}
+	if !strings.Contains(body, `"a@0.0"`) {
+		t.Errorf("/profile missing site: %s", body)
+	}
+
+	// The default diff compares the active generation against its parent,
+	// and repeated requests are byte-identical.
+	code, diff1, _ := get(t, base+"/profile/diff")
+	if code != 200 {
+		t.Fatalf("/profile/diff = %d %q", code, diff1)
+	}
+	_, diff2, _ := get(t, base+"/profile/diff")
+	if diff1 != diff2 {
+		t.Error("/profile/diff is not deterministic across requests")
+	}
+	var d struct {
+		Schema int      `json:"schema"`
+		From   int      `json:"from"`
+		To     int      `json:"to"`
+		Added  []string `json:"added"`
+	}
+	if err := json.Unmarshal([]byte(diff1), &d); err != nil {
+		t.Fatalf("/profile/diff is not JSON: %v\n%s", err, diff1)
+	}
+	if d.Schema != profstore.StoreSchema || d.From != 0 || d.To != 1 || len(d.Added) != 1 || d.Added[0] != "a@0.0" {
+		t.Errorf("/profile/diff = %+v", d)
+	}
+
+	if code, body, _ := get(t, base+"/profile/diff?from=nope"); code != 400 {
+		t.Errorf("/profile/diff?from=nope = %d %q", code, body)
+	}
+	if code, body, _ := get(t, base+"/profile/diff?to=99"); code != 400 {
+		t.Errorf("/profile/diff?to=99 = %d %q", code, body)
+	}
+
+	code, body, _ = get(t, base+"/profile/shadow")
+	if code != 200 {
+		t.Fatalf("/profile/shadow = %d %q", code, body)
+	}
+	var st struct {
+		Schema int    `json:"schema"`
+		State  string `json:"state"`
+		Active int    `json:"active"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/profile/shadow is not JSON: %v\n%s", err, body)
+	}
+	if st.Schema != profstore.RolloutSchema || st.State != "idle" || st.Active != 1 {
+		t.Errorf("/profile/shadow = %+v", st)
+	}
+}
+
+// TestServerProfileEndpointsAbsent pins the contract divergence: unlike
+// /metrics and /trace (which stay 200 with empty content), the profile
+// endpoints 404 when no store or rollout is attached.
+func TestServerProfileEndpointsAbsent(t *testing.T) {
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/profile", "/profile/diff", "/profile/shadow"} {
+		if code, body, _ := get(t, srv.URL()+path); code != 404 {
+			t.Errorf("%s without a store = %d %q, want 404", path, code, body)
+		}
 	}
 }

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzParseAllocID checks the parse/format round trip on arbitrary input:
+// anything ParseAllocID accepts must re-parse from its canonical String
+// form to the same tuple, and canonical forms must be fixed points. Func
+// names legitimately contain '@' (closures) and '.' (paths), which is why
+// the parser anchors on the LAST '@' — the seeds pin that down.
+func FuzzParseAllocID(f *testing.F) {
+	for _, seed := range []string{
+		"main@0.0",
+		"servo::dom::text@0.0",
+		"a@b@1.2",                 // '@' inside the function name
+		"f.g@3.4",                 // '.' inside the function name
+		"x@@1.2",                  // function name ending in '@'
+		"@1.2",                    // empty function name: must be rejected
+		"x@01.02",                 // non-canonical digits parse, canonicalize to 1.2
+		"x@4294967295.4294967295", // uint32 limits
+		"x@5000000000.1",          // block overflows uint32: must be rejected
+		"x@1",                     // no site component
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := ParseAllocID(s)
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+		if id.Func == "" {
+			t.Fatalf("ParseAllocID(%q) accepted an empty function name", s)
+		}
+		canon := id.String()
+		id2, err := ParseAllocID(canon)
+		if err != nil {
+			t.Fatalf("ParseAllocID(%q) = %v; canonical form %q does not re-parse: %v", s, id, canon, err)
+		}
+		if id2 != id {
+			t.Fatalf("round trip changed the id: %q -> %v -> %q -> %v", s, id, canon, id2)
+		}
+		if got := id2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", canon, got)
+		}
+	})
+}
+
+// TestProfileJSONQuick property-checks the profile's JSON codec: for
+// arbitrary site sets, marshal → unmarshal → marshal is byte-identical
+// (the sorted-key encoding is deterministic) and the decoded profile holds
+// the same records.
+func TestProfileJSONQuick(t *testing.T) {
+	type qsite struct {
+		Fn          string
+		Block, Site uint32
+		Size        uint16
+	}
+	prop := func(sites []qsite) bool {
+		p := New()
+		for _, q := range sites {
+			fn := q.Fn
+			if fn == "" {
+				fn = "f" // empty function names cannot round-trip by design
+			}
+			p.Add(AllocID{Func: fn, Block: q.Block, Site: q.Site}, uint64(q.Size))
+		}
+		one, err := json.Marshal(p)
+		if err != nil {
+			return false
+		}
+		two, err := json.Marshal(p)
+		if err != nil || !bytes.Equal(one, two) {
+			return false // marshal must be deterministic on its own
+		}
+		back := New()
+		if err := json.Unmarshal(one, back); err != nil {
+			return false
+		}
+		if back.Len() != p.Len() {
+			return false
+		}
+		for _, id := range p.IDs() {
+			want, _ := p.Get(id)
+			got, ok := back.Get(id)
+			if !ok || got != want {
+				return false
+			}
+		}
+		three, err := json.Marshal(back)
+		return err == nil && bytes.Equal(one, three)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package profstore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// rangeResolver attributes addresses inside [base, base+size) to one site.
+func rangeResolver(id profile.AllocID, base, size uint64) Resolver {
+	return func(addr uint64) (profile.AllocID, uint64, bool) {
+		if addr >= base && addr < base+size {
+			return id, size, true
+		}
+		return profile.AllocID{}, 0, false
+	}
+}
+
+func TestSamplerAttributesCrossings(t *testing.T) {
+	id := site("lib::buf", 0, 0)
+	ring := trace.NewRing(8)
+	s := NewSampler(SamplerConfig{
+		Resolve:   rangeResolver(id, 0x1000, 64),
+		Telemetry: telemetry.NewRegistry(),
+		Ring:      ring,
+	})
+	s.ObserveCrossing("ulib", []uint64{0x1000}, 5*time.Nanosecond)
+	s.ObserveCrossing("ulib", []uint64{0x9999}, time.Nanosecond) // unattributed
+
+	if s.Seen() != 2 || s.Sampled() != 2 {
+		t.Fatalf("seen/sampled = %d/%d, want 2/2", s.Seen(), s.Sampled())
+	}
+	obs, ok := s.Observed(id)
+	if !ok || obs.Crossings != 1 || obs.Bytes != 64 {
+		t.Fatalf("observed = %+v,%v", obs, ok)
+	}
+	sites := s.Sites()
+	if len(sites) != 1 || sites[0] != id {
+		t.Fatalf("sites = %v", sites)
+	}
+	evs := ring.Snapshot()
+	if len(evs) != 1 || evs[0].Kind != trace.Crossing || evs[0].A != 0x1000 || evs[0].Note != id.String() {
+		t.Fatalf("trace events = %v", evs)
+	}
+}
+
+func TestSamplerDedupesObjectsWithinOneCrossing(t *testing.T) {
+	id := site("lib::buf", 0, 0)
+	s := NewSampler(SamplerConfig{Resolve: rangeResolver(id, 0x1000, 64)})
+	// Pointer + interior pointer into the same object: one attribution.
+	s.ObserveCrossing("ulib", []uint64{0x1000, 0x1008}, 0)
+	obs, _ := s.Observed(id)
+	if obs.Crossings != 1 {
+		t.Fatalf("crossings = %d, want 1 (dedup within a call)", obs.Crossings)
+	}
+}
+
+func TestSamplerInterval(t *testing.T) {
+	id := site("lib::buf", 0, 0)
+	s := NewSampler(SamplerConfig{Resolve: rangeResolver(id, 0x1000, 64), Interval: 4})
+	for i := 0; i < 8; i++ {
+		s.ObserveCrossing("ulib", []uint64{0x1000}, 0)
+	}
+	if s.Seen() != 8 || s.Sampled() != 2 {
+		t.Fatalf("seen/sampled = %d/%d, want 8/2 at interval 4", s.Seen(), s.Sampled())
+	}
+	obs, _ := s.Observed(id)
+	if obs.Crossings != 2 {
+		t.Fatalf("attributed crossings = %d, want 2", obs.Crossings)
+	}
+}
+
+func TestSamplerNoResolver(t *testing.T) {
+	s := NewSampler(SamplerConfig{})
+	s.ObserveCrossing("ulib", []uint64{0x1000}, 0)
+	if s.Sampled() != 1 || len(s.Sites()) != 0 {
+		t.Fatalf("resolver-less sampler: sampled=%d sites=%v", s.Sampled(), s.Sites())
+	}
+}
+
+func TestSamplerNilSafety(t *testing.T) {
+	var s *Sampler
+	if s.Seen() != 0 || s.Sampled() != 0 || s.Sites() != nil {
+		t.Fatal("nil sampler accessors not zero-valued")
+	}
+	if _, ok := s.Observed(site("a", 0, 0)); ok {
+		t.Fatal("nil sampler observed a site")
+	}
+	s.FeedStore(New()) // must not panic
+	if len(s.Observations()) != 0 {
+		t.Fatal("nil sampler has observations")
+	}
+}
+
+func TestSamplerFeedStore(t *testing.T) {
+	id := site("lib::buf", 0, 0)
+	store := New()
+	g := store.Commit(deltaOf(id), "heal")
+	if err := store.Promote(g.Seq); err != nil {
+		t.Fatal(err)
+	}
+	// Two stale generations would make id a re-tighten candidate...
+	for i := 0; i < 2; i++ {
+		gg := store.Commit(nil, "merge")
+		if err := store.Promote(gg.Seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.Retighten(2); len(got) != 1 {
+		t.Fatalf("precondition: want 1 candidate, got %+v", got)
+	}
+	// ...unless the sampler saw it crossing under the active generation.
+	s := NewSampler(SamplerConfig{Resolve: rangeResolver(id, 0x1000, 64)})
+	s.ObserveCrossing("ulib", []uint64{0x1000}, 0)
+	s.FeedStore(store)
+	if got := store.Retighten(2); len(got) != 0 {
+		t.Fatalf("fed store still proposes %+v", got)
+	}
+}

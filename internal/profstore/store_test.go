@@ -1,0 +1,242 @@
+package profstore
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func site(fn string, block, idx uint32) profile.AllocID {
+	return profile.AllocID{Func: fn, Block: block, Site: idx}
+}
+
+func deltaOf(ids ...profile.AllocID) *profile.Profile {
+	p := profile.New()
+	for _, id := range ids {
+		p.Add(id, 64)
+	}
+	return p
+}
+
+func TestStoreSeedGeneration(t *testing.T) {
+	s := New()
+	if s.Len() != 1 || s.ActiveSeq() != 0 {
+		t.Fatalf("fresh store: len=%d active=%d, want 1/0", s.Len(), s.ActiveSeq())
+	}
+	g := s.Active()
+	if g.Seq != 0 || g.Parent != -1 || g.Source != "seed" || g.Sites.Len() != 0 {
+		t.Fatalf("seed generation = %+v", g)
+	}
+}
+
+func TestStoreCommitDoesNotActivate(t *testing.T) {
+	s := New()
+	a := site("a", 0, 0)
+	gen := s.Commit(deltaOf(a), "heal")
+	if gen.Seq != 1 || gen.Parent != 0 || gen.Source != "heal" {
+		t.Fatalf("committed generation = %+v", gen)
+	}
+	if !gen.Sites.Contains(a) {
+		t.Fatalf("committed generation missing delta site %v", a)
+	}
+	if s.ActiveSeq() != 0 {
+		t.Fatalf("Commit activated generation %d; promotion must be explicit", s.ActiveSeq())
+	}
+	if last, ok := s.LastSeen(a); !ok || last != 1 {
+		t.Fatalf("delta site last seen = %d,%v, want 1,true", last, ok)
+	}
+}
+
+func TestStoreCommitExtendsActive(t *testing.T) {
+	s := New()
+	a, b := site("a", 0, 0), site("b", 0, 0)
+	g1 := s.Commit(deltaOf(a), "heal")
+	if err := s.Promote(g1.Seq); err != nil {
+		t.Fatal(err)
+	}
+	g2 := s.Commit(deltaOf(b), "heal")
+	if !g2.Sites.Contains(a) || !g2.Sites.Contains(b) {
+		t.Fatalf("generation 2 should hold active∪delta, has %v", g2.Sites.IDs())
+	}
+	if g2.Parent != 1 {
+		t.Fatalf("generation 2 parent = %d, want 1", g2.Parent)
+	}
+}
+
+func TestStorePromoteEmitsTraceAndGauges(t *testing.T) {
+	s := New()
+	ring := trace.NewRing(16)
+	reg := telemetry.NewRegistry()
+	s.SetTrace(ring)
+	s.SetTelemetry(reg)
+
+	gen := s.Commit(deltaOf(site("a", 0, 0)), "heal")
+	if err := s.Promote(gen.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if s.ActiveSeq() != gen.Seq {
+		t.Fatalf("active = %d after promote, want %d", s.ActiveSeq(), gen.Seq)
+	}
+	evs := ring.Snapshot()
+	if len(evs) != 1 || evs[0].Kind != trace.ProfileSwap || evs[0].A != 1 || evs[0].B != 0 || evs[0].Note != "heal" {
+		t.Fatalf("promote trace events = %v", evs)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pkrusafe_profile_generation 1") {
+		t.Fatalf("exposition missing generation gauge:\n%s", buf.String())
+	}
+	// Re-promoting the active generation is a no-op: no second swap event.
+	if err := s.Promote(gen.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 1 {
+		t.Fatalf("no-op promote emitted an event (ring len %d)", ring.Len())
+	}
+	if err := s.Promote(99); err == nil {
+		t.Fatal("promote of unknown generation succeeded")
+	}
+}
+
+func TestStoreRetighten(t *testing.T) {
+	s := New()
+	a, b := site("a", 0, 0), site("b", 0, 0)
+	g1 := s.Commit(deltaOf(a, b), "heal")
+	if err := s.Promote(g1.Seq); err != nil {
+		t.Fatal(err)
+	}
+	// Two empty-delta generations pass; only b keeps crossing.
+	for i := 0; i < 2; i++ {
+		g := s.Commit(nil, "merge")
+		if err := s.Promote(g.Seq); err != nil {
+			t.Fatal(err)
+		}
+		s.MarkSeen(b)
+	}
+	cands := s.Retighten(2)
+	if len(cands) != 1 || cands[0].ID != a || cands[0].LastSeen != 1 {
+		t.Fatalf("retighten candidates = %+v, want [a last seen 1]", cands)
+	}
+	if got := s.Retighten(5); len(got) != 0 {
+		t.Fatalf("window 5 proposed %+v", got)
+	}
+}
+
+func TestStoreDiff(t *testing.T) {
+	s := New()
+	a, b := site("a", 0, 0), site("b", 1, 2)
+	g1 := s.Commit(deltaOf(a), "heal")
+	if err := s.Promote(g1.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Diff(0, 5, 0); err == nil {
+		t.Fatal("diff against unknown generation succeeded")
+	}
+	g2 := s.Commit(deltaOf(b), "heal")
+	d, err := s.Diff(1, g2.Seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema != StoreSchema || d.From != 1 || d.To != 2 || d.Window != 1 {
+		t.Fatalf("diff header = %+v", d)
+	}
+	if len(d.Added) != 1 || d.Added[0] != b.String() {
+		t.Fatalf("added = %v, want [%s]", d.Added, b)
+	}
+	if len(d.Retained) != 1 || d.Retained[0] != a.String() {
+		t.Fatalf("retained = %v, want [%s]", d.Retained, a)
+	}
+	if len(d.Removed) != 0 {
+		t.Fatalf("removed = %v, want empty", d.Removed)
+	}
+	// a last crossed at its commit (gen 1); against gen 2 with window 1
+	// that is exactly stale enough.
+	if len(d.Retighten) != 1 || d.Retighten[0].Site != a.String() || d.Retighten[0].LastSeen != 1 {
+		t.Fatalf("retighten = %+v", d.Retighten)
+	}
+}
+
+func TestStoreJSONRoundTripAndDeterminism(t *testing.T) {
+	s := New()
+	g1 := s.Commit(deltaOf(site("a", 0, 0), site("b", 3, 1)), "heal")
+	if err := s.Promote(g1.Seq); err != nil {
+		t.Fatal(err)
+	}
+	s.Commit(deltaOf(site("c", 0, 0)), "merge")
+
+	var one, two bytes.Buffer
+	if err := s.WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("WriteJSON is not byte-deterministic")
+	}
+
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.ActiveSeq() != s.ActiveSeq() {
+		t.Fatalf("reloaded store: len=%d active=%d, want %d/%d", got.Len(), got.ActiveSeq(), s.Len(), s.ActiveSeq())
+	}
+	var three bytes.Buffer
+	if err := got.WriteJSON(&three); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), three.Bytes()) {
+		t.Fatal("save/load/save changed the persisted bytes")
+	}
+}
+
+func TestStoreLoadRejectsBadInput(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad schema":     `{"schema":99,"active":0,"generations":[{"seq":0,"parent":-1,"source":"seed","sites":{}}]}`,
+		"no generations": `{"schema":1,"active":0,"generations":[]}`,
+		"out of order":   `{"schema":1,"active":0,"generations":[{"seq":1,"parent":-1,"source":"seed","sites":{}}]}`,
+		"bad active":     `{"schema":1,"active":7,"generations":[{"seq":0,"parent":-1,"source":"seed","sites":{}}]}`,
+		"bad last seen":  `{"schema":1,"active":0,"generations":[{"seq":0,"parent":-1,"source":"seed","sites":{}}],"last_seen":{"nosite":0}}`,
+	} {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Load succeeded", name)
+		}
+	}
+}
+
+func TestLoadFileOrNew(t *testing.T) {
+	s, err := LoadFileOrNew(filepath.Join(t.TempDir(), "missing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.ActiveSeq() != 0 {
+		t.Fatalf("bootstrap store: len=%d active=%d", s.Len(), s.ActiveSeq())
+	}
+}
+
+func TestStoreView(t *testing.T) {
+	s := New()
+	g := s.Commit(deltaOf(site("a", 0, 0)), "heal")
+	if err := s.Promote(g.Seq); err != nil {
+		t.Fatal(err)
+	}
+	v := s.View()
+	if v.Schema != StoreSchema || v.Active != 1 || v.Generations != 2 || v.Parent != 0 || v.Source != "heal" {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Sites.Len() != 1 {
+		t.Fatalf("view sites = %d, want 1", v.Sites.Len())
+	}
+}

@@ -39,6 +39,13 @@ const (
 	// Heal: the supervisor migrated a misclassified allocation site MT→MU
 	// (A = object base, Note = AllocId).
 	Heal
+	// Crossing: the crossing sampler attributed a forward-gate argument to
+	// a live allocation (A = argument address, B = gate latency in
+	// nanoseconds, Note = AllocId).
+	Crossing
+	// ProfileSwap: the profile store promoted a new active generation
+	// (A = new generation, B = previous generation, Note = source).
+	ProfileSwap
 )
 
 func (k Kind) String() string {
@@ -59,6 +66,10 @@ func (k Kind) String() string {
 		return "recover"
 	case Heal:
 		return "heal"
+	case Crossing:
+		return "crossing"
+	case ProfileSwap:
+		return "profile-swap"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -84,6 +95,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d %-10s base=%#x site=%s", e.Seq, e.Kind, e.A, e.Note)
 	case Recover:
 		return fmt.Sprintf("#%d %-10s pkru=%#08x outcome=%s", e.Seq, e.Kind, e.A, e.Note)
+	case Crossing:
+		return fmt.Sprintf("#%d %-10s addr=%#x site=%s lat=%v", e.Seq, e.Kind, e.A, e.Note, time.Duration(e.B))
+	case ProfileSwap:
+		return fmt.Sprintf("#%d %-10s generation=%d prev=%d source=%s", e.Seq, e.Kind, e.A, e.B, e.Note)
 	case Span:
 		return fmt.Sprintf("#%d %-10s %s took=%v", e.Seq, e.Kind, e.Note, time.Duration(e.A))
 	default:

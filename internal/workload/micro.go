@@ -21,6 +21,11 @@ type MicroWorld struct {
 	Prog *core.Program
 	// Shared is an MU buffer the Read-One workload reads.
 	Shared vm.Addr
+	// SiteShared is an MU buffer allocated through the registered site
+	// micro::shared@0.0 — unlike Shared (a raw allocator call with no
+	// provenance), reads through it can be attributed by the forensics
+	// recorder and the crossing sampler.
+	SiteShared vm.Addr
 }
 
 // NewMicroWorld builds the mpk-configuration program the paper measures
@@ -40,7 +45,14 @@ func NewMicroWorld(opts ...core.Options) (*MicroWorld, error) {
 	if err := prog.Main().VM.Store64(shared, 0x5eed); err != nil {
 		return nil, err
 	}
-	return &MicroWorld{Prog: prog, Shared: shared}, nil
+	siteShared, err := prog.AllocAt(prog.UntrustedSite("micro::shared", 0, 0), 64)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Main().VM.Store64(siteShared, 0x5eed); err != nil {
+		return nil, err
+	}
+	return &MicroWorld{Prog: prog, Shared: shared, SiteShared: siteShared}, nil
 }
 
 // defineMicroFuncs registers identical workload bodies in a trusted and
