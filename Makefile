@@ -1,4 +1,4 @@
-.PHONY: check test build fmt conform fuzz-smoke recover-demo profile-demo
+.PHONY: check test build fmt conform fuzz-smoke recover-demo profile-demo domains-demo
 
 check:
 	sh scripts/check.sh
@@ -16,6 +16,22 @@ conform:
 	go run ./cmd/pkru-conform -fault all
 	go run ./cmd/pkru-conform -traces 64 -ops 512
 	go run ./cmd/pkru-conform -supervised
+	go run ./cmd/pkru-conform -vkeys
+
+# domains-demo exercises the N-domain layer end to end
+# (docs/domains.md): 64 logical domains multiplexed onto 13 hardware
+# key slots under concurrent entry and tenant churn (isolation leaks
+# exit non-zero), the drill proving multiplexing is semantically
+# invisible, and the slot-miss overhead bench.
+domains-demo:
+	@echo "--- 64 tenants on 13 slots under churn ---"
+	go run ./cmd/pkru-servo -domains=64 -domain-workers 4 -domain-cycles 1500
+	@echo "--- virtual-key conformance drill ---"
+	go run ./cmd/pkru-conform -vkeys -vkey-domains 64
+	@echo "--- multiplexing stats ---"
+	go run ./cmd/pkrusafe domains 32
+	@echo "--- slot-miss overhead (smoke iterations) ---"
+	go run ./cmd/pkru-bench -experiment vkeys -micro-iters 2000
 
 # recover-demo proves the supervisor's headline property on the quickstart
 # example run without a profile (so its shared site is misclassified MT):
@@ -49,3 +65,4 @@ profile-demo:
 fuzz-smoke:
 	go test -fuzz '^FuzzDifferential$$' -fuzztime 10s ./internal/conformance
 	go test -fuzz '^FuzzSpaceOracle$$' -fuzztime 10s ./internal/conformance
+	go test -fuzz '^FuzzVKeys$$' -fuzztime 10s ./internal/conformance

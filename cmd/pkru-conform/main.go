@@ -6,6 +6,7 @@
 //	pkru-conform -seed 1 -traces 256 -ops 512        differential sweep
 //	pkru-conform -fault all                          prove planted bugs are caught
 //	pkru-conform -supervised                         supervised-gate recovery drill
+//	pkru-conform -vkeys                              virtual-key multiplexing drill
 //	pkru-conform -traces 64 -json -                  JSON telemetry summary
 //
 // On a divergence the shrunk counterexample is printed as a runnable Go
@@ -31,6 +32,8 @@ func main() {
 		ops    = flag.Int("ops", 512, "operations per trace")
 		fault  = flag.String("fault", "", "fault-injection mode: skip-gate-restore|swallow-segv|leak-trusted-alloc|stale-setpkey|all")
 		superv = flag.Bool("supervised", false, "run the supervised-gate drill: recovery must not change enforcement semantics")
+		vkeys  = flag.Bool("vkeys", false, "run the virtual-key drill: multiplexing must not change enforcement semantics")
+		vkeyN  = flag.Int("vkey-domains", 0, "domain count for the -vkeys drill (0 = slots+3)")
 		jsonTo = flag.String("json", "", "write the telemetry summary as JSON to this path (\"-\" = stdout)")
 		table  = flag.Bool("table", false, "print the telemetry summary as a table")
 		quiet  = flag.Bool("q", false, "suppress per-run progress output")
@@ -49,6 +52,8 @@ func main() {
 
 	ok := true
 	switch {
+	case *vkeys:
+		ok = runVKeys(*vkeyN, *quiet)
 	case *superv:
 		ok = runSupervised(*quiet)
 	case *fault != "":
@@ -164,6 +169,36 @@ func runSupervised(quiet bool) bool {
 	}
 	if !quiet {
 		fmt.Println("pkru-conform: supervised-gate drill: retry/quarantine/heal recover without semantic drift; planted skip-restore caught")
+	}
+	return true
+}
+
+// runVKeys drills protection-key virtualization: the multiplexed stack
+// must agree with the ideal unbounded-keys model across evictions, slot
+// recycling and tenant churn, and the drill's planted
+// stale-slot-after-eviction bug must be caught.
+func runVKeys(domains int, quiet bool) bool {
+	if err := conformance.DrillVKeys(); err != nil {
+		fmt.Fprintln(os.Stderr, "pkru-conform:", err)
+		return false
+	}
+	if domains > 0 {
+		rep, err := conformance.RunVKeyDrill(conformance.VKeyOptions{Domains: domains})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pkru-conform:", err)
+			return false
+		}
+		if len(rep.Divergences) > 0 {
+			fmt.Fprintf(os.Stderr, "pkru-conform: vkeys at %d domains: %s\n", domains, rep.Divergences[0])
+			return false
+		}
+		if !quiet {
+			fmt.Printf("pkru-conform: vkeys at %d domains on %d slots: %d probes, %d evictions, no divergence\n",
+				rep.Domains, rep.Slots, rep.Probes, rep.Evictions)
+		}
+	}
+	if !quiet {
+		fmt.Println("pkru-conform: virtual-key drill: multiplexing is semantically invisible; planted stale-slot-after-eviction caught")
 	}
 	return true
 }

@@ -21,6 +21,14 @@
 // while the workload runs. If the script dies on an MPK violation the
 // crash report is printed to stderr before exit 1.
 //
+// -domains N switches the binary into the multi-tenant domain workload
+// (docs/domains.md) instead of the browser: N logical domains — far more
+// than the 13 hardware key slots — are entered concurrently by worker
+// threads while tenants churn, exercising the virtual-key table's LRU
+// eviction, slot recycling and eviction-time PKRU revocation. The
+// pkrusafe_vkey_* gauges and counters are live on -listen's /metrics
+// while the workload runs.
+//
 // -profile-store closes the profiling loop (docs/profiling.md): the
 // active generation of a generational profile store supplies the applied
 // profile, the crossing sampler feeds live boundary observations back,
@@ -42,14 +50,19 @@ import (
 	"io"
 	"os"
 
+	"sync"
+	"time"
+
 	"repro/internal/browser"
 	"repro/internal/core"
+	"repro/internal/domains"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/profstore"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 const demoHTML = `
@@ -91,7 +104,15 @@ func main() {
 	profileStore := flag.String("profile-store", "", "generational profile store JSON (created if missing); supplies the applied profile and absorbs heal deltas")
 	shadowFrac := flag.Float64("shadow-frac", 0, "stage committed candidate generations on this fraction of replayed requests before promoting")
 	traceOut := flag.String("trace-out", "", `write the trace ring to this path at exit ("-" = stdout)`)
+	nDomains := flag.Int("domains", 0, "run the multi-tenant domain workload with this many logical domains instead of the browser")
+	domainWorkers := flag.Int("domain-workers", 4, "concurrent worker threads for the -domains workload")
+	domainCycles := flag.Int("domain-cycles", 2000, "domain entries per worker for the -domains workload")
 	flag.Parse()
+
+	if *nDomains > 0 {
+		runDomains(*nDomains, *domainWorkers, *domainCycles, *listen, *metrics, *metricsJSON)
+		return
+	}
 
 	policy, err := supervise.ParsePolicy(*recoverName)
 	exitOn(err)
@@ -263,6 +284,162 @@ func main() {
 		writeTo(*traceOut, func(w io.Writer) error { opts.Trace.Dump(w); return nil })
 	}
 	closeServer(srv)
+}
+
+// runDomains drives the multi-tenant domain workload: n logical domains
+// multiplexed onto the hardware key slots, entered concurrently by
+// worker threads with their own rights registers while a churn loop
+// removes and re-adds tenants underneath them. Every entry goes through
+// the audited gate path; cross-tenant probes must deny; churn must
+// recycle both key slots and pool regions. The virtual-key telemetry is
+// live on -listen's /metrics for the duration.
+func runDomains(n, workers, cycles int, listen, metricsPath, metricsJSONPath string) {
+	if workers < 1 {
+		workers = 1
+	}
+	space := vm.NewSpace()
+	m, err := domains.NewManager(space)
+	exitOn(err)
+
+	reg := telemetry.NewRegistry()
+	m.SetTelemetry(reg)
+	entries := reg.Counter("pkruservo_domain_entries_total", "Domain entries completed by the tenant workload.")
+	reads := reg.Counter("pkruservo_domain_reads_total", "In-domain reads of the tenant's own pool that succeeded.")
+	denied := reg.Counter("pkruservo_domain_denied_total", "Cross-tenant probes correctly denied by the hardware keys.")
+	leaks := reg.Counter("pkruservo_domain_leaks_total", "Cross-tenant probes that wrongly succeeded (must stay 0).")
+	churned := reg.Counter("pkruservo_domain_churn_total", "Tenants removed and re-added while the workload ran.")
+
+	var srv *obs.Server
+	if listen != "" {
+		srv, err = obs.ListenAndServe(listen, obs.ServerConfig{Registry: reg})
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "pkru-servo: observability server on %s\n", srv.URL())
+	}
+
+	// Tenant table: each tenant's current buffer address, swapped atomically
+	// under its lock when churn recreates the pool. Workers racing a churn
+	// see either address; a stale one simply faults (a denied probe), which
+	// is the safe outcome.
+	name := func(i int) string { return fmt.Sprintf("tenant%03d", i) }
+	type tenant struct {
+		mu  sync.Mutex
+		buf vm.Addr
+	}
+	tenants := make([]*tenant, n)
+	setup := vm.NewThread(space, nil) // trusted: PermitAll
+	addTenant := func(i int) error {
+		d, err := m.AddDomain(name(i))
+		if err != nil {
+			return err
+		}
+		buf, err := m.Alloc(d, 64)
+		if err != nil {
+			return err
+		}
+		if err := setup.Store64(buf, uint64(i)); err != nil {
+			return err
+		}
+		tenants[i].mu.Lock()
+		tenants[i].buf = buf
+		tenants[i].mu.Unlock()
+		return nil
+	}
+	bufOf := func(i int) vm.Addr {
+		tenants[i].mu.Lock()
+		defer tenants[i].mu.Unlock()
+		return tenants[i].buf
+	}
+	for i := 0; i < n; i++ {
+		tenants[i] = &tenant{}
+		exitOn(addTenant(i))
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := vm.NewThread(space, nil)
+			for c := 0; c < cycles; c++ {
+				i := (w + c) % n
+				d, ok := m.Domain(name(i))
+				if !ok {
+					continue // churned away between pick and lookup
+				}
+				restore, err := m.Enter(th, d)
+				if err != nil {
+					continue // churned away between lookup and enter
+				}
+				if _, err := th.Load64(bufOf(i)); err == nil {
+					reads.Inc()
+				}
+				if _, err := th.Load64(bufOf((i + 1) % n)); err != nil {
+					denied.Inc()
+				} else {
+					leaks.Inc()
+				}
+				if err := restore(); err != nil {
+					fmt.Fprintf(os.Stderr, "pkru-servo: domain restore: %v\n", err)
+				}
+				entries.Inc()
+			}
+		}(w)
+	}
+
+	// Churn loop: while the workers run, rotate tenants out and back in so
+	// key recycling and pool scrubbing happen under live concurrent entry.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	victim := 0
+churn:
+	for {
+		select {
+		case <-done:
+			break churn
+		case <-time.After(50 * time.Microsecond):
+		}
+		i := victim % n
+		victim++
+		// Touch the victim first so it holds a hardware slot when removed:
+		// removal of an active tenant is the interesting case, exercising
+		// slot recycling and bound-thread revocation rather than just
+		// discarding a parked key.
+		if d, ok := m.Domain(name(i)); ok {
+			if restore, err := m.Enter(setup, d); err == nil {
+				_ = restore()
+			}
+		}
+		if err := m.RemoveDomain(name(i)); err != nil {
+			continue
+		}
+		if err := addTenant(i); err != nil {
+			fmt.Fprintf(os.Stderr, "pkru-servo: tenant re-add: %v\n", err)
+			os.Exit(1)
+		}
+		churned.Inc()
+	}
+	elapsed := time.Since(start)
+
+	st := m.Table().Stats()
+	if leaks.Value() > 0 {
+		fmt.Fprintf(os.Stderr, "pkru-servo: ISOLATION FAILURE: %d cross-tenant probe(s) succeeded\n", leaks.Value())
+	}
+	fmt.Printf("domains=%d slots=%d workers=%d entries=%d reads=%d denied-probes=%d leaks=%d churn=%d elapsed=%v\n",
+		n, st.Slots, workers, entries.Value(), reads.Value(), denied.Value(), leaks.Value(), churned.Value(), elapsed.Round(time.Millisecond))
+	fmt.Printf("vkeys: logical=%d active=%d parked=%d activations=%d slot-misses=%d evictions=%d recycled=%d invalidations=%d\n",
+		st.Logical, st.Active, st.Parked, st.Activations, st.SlotMisses, st.Evictions, st.Recycled, st.Invalidations)
+
+	if metricsPath != "" {
+		writeTo(metricsPath, reg.WritePrometheus)
+	}
+	if metricsJSONPath != "" {
+		writeTo(metricsJSONPath, reg.Snapshot().WriteJSON)
+	}
+	closeServer(srv)
+	if leaks.Value() > 0 {
+		os.Exit(1)
+	}
 }
 
 // runProfilePlane closes the profiling loop after the serving phase: live

@@ -7,6 +7,7 @@
 //	pkrusafe run     prog.pkir [-profile p]    enforced (mpk) run
 //	pkrusafe exec    prog.pkir -config base    run under any configuration
 //	pkrusafe stats   prog.pkir [-profile p]    run and print a telemetry table
+//	pkrusafe domains N [-json]                 N-tenant virtual-key drill + stats
 //
 // The instrumented IR printed by `build` shows the AllocIds, gate marks
 // and (with -profile) the alloc→ualloc rewrites the enforcement build
@@ -32,9 +33,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/compile"
+	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/ffi"
 	"repro/internal/interp"
@@ -101,6 +104,7 @@ func (o *options) runFlags(fs *flag.FlagSet) {
 type command struct {
 	name     string
 	synopsis string
+	arg      string // positional argument name; "" = "<prog.pkir>"
 	flags    func(o *options) *flag.FlagSet
 	run      func(o *options, path string)
 }
@@ -170,6 +174,17 @@ var commands = []command{
 		},
 		run: func(o *options, path string) { execute(o, path, parseConfig(o.cfgName), true) },
 	},
+	{
+		name:     "domains",
+		synopsis: "drive <n> logical domains through the virtual-key drill, print multiplexing stats",
+		arg:      "<n>",
+		flags: func(o *options) *flag.FlagSet {
+			fs := newFlagSet("domains")
+			fs.BoolVar(&o.jsonOut, "json", false, "print the report as JSON instead of text")
+			return fs
+		},
+		run: cmdDomains,
+	},
 }
 
 func newFlagSet(name string) *flag.FlagSet {
@@ -201,7 +216,11 @@ func usage() {
 	fmt.Fprintln(w, "usage: pkrusafe <command> <prog.pkir> [flags]")
 	for i := range commands {
 		c := &commands[i]
-		fmt.Fprintf(w, "\n  pkrusafe %s <prog.pkir>\n        %s\n", c.name, c.synopsis)
+		arg := c.arg
+		if arg == "" {
+			arg = "<prog.pkir>"
+		}
+		fmt.Fprintf(w, "\n  pkrusafe %s %s\n        %s\n", c.name, arg, c.synopsis)
 		fs := c.flags(&options{})
 		fs.SetOutput(w)
 		fs.PrintDefaults()
@@ -367,6 +386,38 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 	reportCrossings(os.Stderr, prog)
 	fmt.Fprintf(os.Stderr, "pkrusafe: %v run returned %v (%d transitions)\n", cfg, res, prog.Transitions())
 	closeServer(srv)
+}
+
+// cmdDomains runs the N-tenant virtual-key conformance drill and prints
+// its multiplexing stats: how many logical domains rode how many hardware
+// slots, what the LRU eviction traffic looked like, and whether the
+// multiplexed stack ever disagreed with the ideal unbounded-keys model
+// (exit status 1 if it did).
+func cmdDomains(o *options, arg string) {
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		exitOn(fmt.Errorf("domains: want a positive tenant count, got %q", arg))
+	}
+	rep, err := conformance.RunVKeyDrill(conformance.VKeyOptions{Domains: n})
+	exitOn(err)
+	if o.jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		exitOn(err)
+		fmt.Println(string(data))
+	} else {
+		fmt.Printf("domains:     %d logical on %d hardware slots\n", rep.Domains, rep.Slots)
+		fmt.Printf("probes:      %d (own pool, shared pool, trusted secret, every cross-tenant pair)\n", rep.Probes)
+		fmt.Printf("slot misses: %d\n", rep.SlotMisses)
+		fmt.Printf("evictions:   %d\n", rep.Evictions)
+		fmt.Printf("recycled:    %d\n", rep.Recycled)
+		fmt.Printf("divergences: %d\n", len(rep.Divergences))
+	}
+	if len(rep.Divergences) > 0 {
+		for _, d := range rep.Divergences {
+			fmt.Fprintln(os.Stderr, "pkrusafe:", d)
+		}
+		os.Exit(1)
+	}
 }
 
 // reportCrossings prints the crossing sampler's attribution summary.

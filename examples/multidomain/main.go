@@ -1,8 +1,10 @@
-// Multidomain demonstrates the §6 "more than two compartments" extension:
-// two untrusted libraries — a scripting engine and a media codec — each
-// get their own protection key and private pool, so a bug in one cannot
-// corrupt the other's data, while both still share the key-0 pool with
-// the trusted application.
+// Multidomain demonstrates the §6 "more than two compartments" extension
+// with virtualized protection keys: two untrusted libraries — a scripting
+// engine and a media codec — each get their own logical key and private
+// pool, so a bug in one cannot corrupt the other's data, while both still
+// share the key-0 pool with the trusted application. A third act churns
+// through more tenants than the hardware has keys to show the eviction
+// cache at work.
 //
 // Run with: go run ./examples/multidomain
 package main
@@ -23,7 +25,8 @@ func main() {
 	exitOn(err)
 	codec, err := mgr.AddDomain("media-codec")
 	exitOn(err)
-	fmt.Printf("domains: %s (key %v), %s (key %v)\n", js.Name, js.Key, codec.Name, codec.Key)
+	fmt.Printf("domains: %s (%v), %s (%v) over %d hardware slots\n",
+		js.Name, js.VKey, codec.Name, codec.VKey, mgr.Table().Slots())
 
 	th := vm.NewThread(space, nil)
 
@@ -49,23 +52,39 @@ func main() {
 	}
 
 	fmt.Println("inside the js-engine domain:")
-	restore := mgr.Enter(th, js)
+	restore, err := mgr.Enter(th, js)
+	exitOn(err)
 	probe("shared pool", shared)
 	probe("own pool", jsHeap)
 	probe("codec's pool", codecHeap)
 	probe("trusted heap", secret)
-	restore()
+	exitOn(restore())
 
 	fmt.Println("inside the media-codec domain:")
-	restore = mgr.Enter(th, codec)
+	restore, err = mgr.Enter(th, codec)
+	exitOn(err)
 	probe("shared pool", shared)
 	probe("own pool", codecHeap)
 	probe("js-engine's pool", jsHeap)
 	probe("trusted heap", secret)
-	restore()
+	exitOn(restore())
 
 	fmt.Println("back in the trusted compartment:")
 	probe("everything (e.g. js pool)", jsHeap)
+
+	// More tenants than the hardware has keys: the vkey table multiplexes
+	// them through its LRU eviction cache.
+	churn := mgr.Table().Slots() + 4
+	for i := 0; i < churn; i++ {
+		d, err := mgr.AddDomain(fmt.Sprintf("tenant-%02d", i))
+		exitOn(err)
+		r, err := mgr.Enter(th, d)
+		exitOn(err)
+		exitOn(r())
+	}
+	st := mgr.Table().Stats()
+	fmt.Printf("churned %d extra tenants: %d logical keys on %d slots, %d evictions, %d slot misses\n",
+		churn, st.Logical, st.Slots, st.Evictions, st.SlotMisses)
 	fmt.Println("mutually distrusting libraries, one address space, zero copies")
 }
 

@@ -1,0 +1,197 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/domains"
+	"repro/internal/vm"
+)
+
+// VKeyOptions configures a virtual-key conformance drill.
+type VKeyOptions struct {
+	// Domains is the number of logical domains to drive. Values above the
+	// hardware slot count force LRU evictions; the default (0) picks
+	// slots+3 so the multiplexer is always exercised.
+	Domains int
+	// PlantStaleSlot plants the stale-slot-after-eviction bug in the vkey
+	// table: evicted domains' pages keep their old hardware tag, so the
+	// next tenant bound to the recycled slot can read them. The oracle
+	// must report a divergence.
+	PlantStaleSlot bool
+}
+
+// VKeyReport is the outcome of one virtual-key drill.
+type VKeyReport struct {
+	Domains    int    `json:"domains"`
+	Slots      int    `json:"slots"`
+	Probes     int    `json:"probes"`
+	Evictions  uint64 `json:"evictions"`
+	SlotMisses uint64 `json:"slot_misses"`
+	Recycled   uint64 `json:"recycled"`
+	// Divergences lists every disagreement between the multiplexed real
+	// stack and the ideal unbounded-keys model.
+	Divergences []string `json:"divergences"`
+}
+
+// RunVKeyDrill differentially tests key virtualization against an ideal
+// model with unbounded keys and no slots: inside domain i, exactly the
+// shared pool and domain i's own pool are accessible — regardless of
+// which hardware slot the domain happens to occupy, whether it was just
+// evicted and re-activated, or how many tenants exist. Any disagreement
+// between that ideal and the multiplexed real stack is a virtualization
+// artifact: a stale page tag after eviction, a slot rebound without
+// revocation, a recycled pool leaking across tenants.
+//
+// The drill walks every domain in order (forcing evictions once the
+// domain count exceeds the slot count), probing from inside each domain:
+// its own buffer (must be readable), every other domain's buffer (must
+// fault), the shared pool (readable) and the trusted secret (fault).
+// A churn phase then removes and re-adds a domain to cover slot and
+// region recycling.
+func RunVKeyDrill(opts VKeyOptions) (*VKeyReport, error) {
+	space := vm.NewSpace()
+	m, err := domains.NewManager(space)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Domains <= 0 {
+		opts.Domains = m.Table().Slots() + 3
+	}
+	if opts.PlantStaleSlot {
+		m.Table().InjectStaleEviction(true)
+	}
+	rep := &VKeyReport{Domains: opts.Domains, Slots: m.Table().Slots()}
+
+	th := vm.NewThread(space, nil)
+	secret, err := m.AllocTrusted(8)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := m.AllocShared(8)
+	if err != nil {
+		return nil, err
+	}
+	doms := make([]*domains.Domain, opts.Domains)
+	bufs := make([]vm.Addr, opts.Domains)
+	for i := range doms {
+		d, err := m.AddDomain(fmt.Sprintf("dom%03d", i))
+		if err != nil {
+			return nil, err
+		}
+		buf, err := m.Alloc(d, 16)
+		if err != nil {
+			return nil, err
+		}
+		if err := th.Store64(buf, uint64(i)); err != nil {
+			return nil, fmt.Errorf("trusted init: %w", err)
+		}
+		doms[i], bufs[i] = d, buf
+	}
+	if err := th.Store64(secret, 0x5ec); err != nil {
+		return nil, err
+	}
+	if err := th.Store64(shared, 0x5); err != nil {
+		return nil, err
+	}
+
+	// probe records a divergence when the real outcome disagrees with the
+	// ideal model's expectation.
+	probe := func(inDomain int, what string, addr vm.Addr, wantReadable bool) {
+		rep.Probes++
+		_, err := th.Load64(addr)
+		readable := err == nil
+		if readable != wantReadable {
+			rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+				"in dom%03d: %s at %v: real readable=%v, model readable=%v",
+				inDomain, what, addr, readable, wantReadable))
+		}
+	}
+
+	sweep := func() error {
+		for i, d := range doms {
+			restore, err := m.Enter(th, d)
+			if err != nil {
+				return fmt.Errorf("enter dom%03d: %w", i, err)
+			}
+			probe(i, "own pool", bufs[i], true)
+			probe(i, "shared pool", shared, true)
+			probe(i, "trusted secret", secret, false)
+			for j := range doms {
+				if j != i {
+					probe(i, fmt.Sprintf("dom%03d's pool", j), bufs[j], false)
+				}
+			}
+			if err := restore(); err != nil {
+				return fmt.Errorf("exit dom%03d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	if err := sweep(); err != nil {
+		return nil, err
+	}
+
+	// Churn: remove a middle domain and re-add it. The recycled slot and
+	// region must behave exactly like fresh ones — and the old tenant's
+	// data must be gone.
+	victim := opts.Domains / 2
+	if err := m.RemoveDomain(doms[victim].Name); err != nil {
+		return nil, err
+	}
+	d, err := m.AddDomain(doms[victim].Name)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := m.Alloc(d, 16)
+	if err != nil {
+		return nil, err
+	}
+	if err := th.Store64(buf, 0x7e); err != nil {
+		return nil, err
+	}
+	doms[victim], bufs[victim] = d, buf
+	if err := sweep(); err != nil {
+		return nil, err
+	}
+
+	st := m.Table().Stats()
+	rep.Evictions = st.Evictions
+	rep.SlotMisses = st.SlotMisses
+	rep.Recycled = st.Recycled
+	return rep, nil
+}
+
+// DrillVKeys runs the clean virtual-key drill and the planted
+// stale-slot-after-eviction variant: the clean run must be
+// divergence-free while actually multiplexing (more logical keys than
+// slots, at least one eviction, at least one recycled slot), and the
+// planted bug must be caught. cmd/pkru-conform -vkeys and the
+// conformance tests share this entry point.
+func DrillVKeys() error {
+	rep, err := RunVKeyDrill(VKeyOptions{})
+	if err != nil {
+		return fmt.Errorf("vkey drill: %w", err)
+	}
+	if len(rep.Divergences) != 0 {
+		return fmt.Errorf("vkey drill: virtualization changed enforcement semantics: %s",
+			rep.Divergences[0])
+	}
+	if rep.Domains <= rep.Slots {
+		return errors.New("vkey drill: did not exceed the hardware slot count")
+	}
+	if rep.Evictions == 0 {
+		return errors.New("vkey drill: no evictions despite more domains than slots")
+	}
+	if rep.Recycled == 0 {
+		return errors.New("vkey drill: churn recycled no hardware slots")
+	}
+	planted, err := RunVKeyDrill(VKeyOptions{PlantStaleSlot: true})
+	if err != nil {
+		return fmt.Errorf("vkey drill (planted): %w", err)
+	}
+	if len(planted.Divergences) == 0 {
+		return errors.New("vkey drill: planted stale-slot-after-eviction not detected by the oracle")
+	}
+	return nil
+}

@@ -1,18 +1,21 @@
 // Package domains generalizes PKRU-Safe's two-compartment policy to N
 // mutually distrusting untrusted domains, the extension §6 sketches under
-// "Number of Compartments": the paper keeps T/U for simplicity but sees
-// "no fundamental issue using a more complicated partitioning scheme that
-// uses more than two domains".
+// "Number of Compartments" — now without the 14-key hardware ceiling.
 //
-// Each domain owns a protection key and a disjoint heap pool. A domain's
-// PKRU grants access to the shared pool (key 0) and its own pool only, so
-// two untrusted libraries — say, a JS engine and a codec — cannot corrupt
-// each other's private data even though both are untrusted. The trusted
-// compartment retains full access, as in the base design.
+// Each domain owns a *logical* protection key from an internal/vkey table
+// and a private heap pool from pkalloc. Logical keys are multiplexed onto
+// the hardware slots on demand: entering a domain activates its key
+// (possibly evicting the least-recently-entered domain's slot), so any
+// number of domains can coexist while at most thirteen are
+// hardware-resident at once. A domain's PKRU grants the shared pool (key
+// 0) and its own slot only; the trusted compartment retains full rights.
 //
-// MPK provides 16 keys; with key 0 shared and one key for MT, up to 14
-// concurrent domains are supported, matching the hardware limit the paper
-// notes.
+// Every rights switch goes through mpk.InstallAudited — the same
+// write-then-readback discipline the ffi call gates use — and restore
+// re-activates the caller's domain rather than reinstating a saved PKRU
+// value, because an eviction between enter and exit can rebind the saved
+// value's hardware slot to a different tenant (the Garmr stale-PKRU
+// hazard).
 package domains
 
 import (
@@ -21,98 +24,125 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/ffi"
 	"repro/internal/heap"
 	"repro/internal/mpk"
+	"repro/internal/pkalloc"
+	"repro/internal/telemetry"
+	"repro/internal/vkey"
 	"repro/internal/vm"
 )
 
-// Pool placement in the simulated address space.
-const (
-	trustedBase vm.Addr = 0x2000_0000_0000
-	trustedSize uint64  = 1 << 44
-	sharedBase  vm.Addr = 0x7000_0000_0000
-	sharedSize  uint64  = 1 << 38
-	domainBase  vm.Addr = 0x7800_0000_0000
-	domainSize  uint64  = 1 << 36
-	trustedKey  mpk.Key = 1
-	firstDomKey mpk.Key = 2
-)
+// ErrUnknownDomain is returned for operations on a removed domain.
+var ErrUnknownDomain = errors.New("domains: unknown or removed domain")
 
-// ErrKeysExhausted is returned when all 14 domain keys are in use.
-var ErrKeysExhausted = errors.New("domains: all protection keys in use")
-
-// Domain is one untrusted compartment: a key, a private pool, and the
-// PKRU value gates install when entering it.
+// Domain is one untrusted compartment: a logical key and a private pool.
+// Its hardware key and PKRU are not fixed properties — they exist only
+// while the domain holds a slot, and change across evictions.
 type Domain struct {
 	Name string
-	Key  mpk.Key
-	PKRU mpk.PKRU // shared pool + own pool only
+	VKey vkey.ID
 
-	pool heap.Allocator
+	region *vm.Region
 }
 
-// Manager owns the trusted pool, the shared pool and every domain.
-// It is safe for concurrent use.
+// Region returns the domain's private pool reservation.
+func (d *Domain) Region() *vm.Region { return d.region }
+
+// Manager owns the trusted pool, the shared pool, the per-domain pools
+// and the virtual-key table. It is safe for concurrent use.
 type Manager struct {
 	mu      sync.Mutex
-	space   *vm.Space
-	trusted heap.Allocator
-	shared  heap.Allocator
+	alloc   *pkalloc.Allocator
+	table   *vkey.Table
 	domains map[string]*Domain
-	nextKey mpk.Key
+	// stacks tracks, per rights register, the nesting of entered domains
+	// (nil = the trusted compartment). Restore re-activates the frame
+	// below instead of reinstating a saved PKRU, so an eviction between
+	// enter and exit cannot resurrect rights for a rebound slot.
+	stacks map[mpk.RightsRegister][]*Domain
 }
 
-// NewManager reserves the trusted and shared pools in space.
+// NewManager reserves the trusted and shared pools in space and builds
+// the virtual-key table over the remaining hardware keys.
 func NewManager(space *vm.Space) (*Manager, error) {
-	rT, err := space.Reserve("domains/MT", trustedBase, trustedSize, trustedKey)
+	alloc, err := pkalloc.New(pkalloc.Config{Space: space})
 	if err != nil {
 		return nil, err
 	}
-	rS, err := space.Reserve("domains/shared", sharedBase, sharedSize, 0)
+	table, err := vkey.NewTable(space, vkey.Config{Reserved: []mpk.Key{alloc.TrustedKey()}})
 	if err != nil {
 		return nil, err
 	}
 	return &Manager{
-		space:   space,
-		trusted: heap.NewArena(heap.NewPagePool(rT)),
-		shared:  heap.NewFreeList(heap.NewPagePool(rS), space),
+		alloc:   alloc,
+		table:   table,
 		domains: make(map[string]*Domain),
-		nextKey: firstDomKey,
+		stacks:  make(map[mpk.RightsRegister][]*Domain),
 	}, nil
 }
 
 // Space returns the backing address space.
-func (m *Manager) Space() *vm.Space { return m.space }
+func (m *Manager) Space() *vm.Space { return m.alloc.Space() }
+
+// Allocator returns the compartment-aware allocator behind the pools.
+func (m *Manager) Allocator() *pkalloc.Allocator { return m.alloc }
+
+// Table returns the virtual-key table multiplexing the domains.
+func (m *Manager) Table() *vkey.Table { return m.table }
 
 // TrustedKey returns the key tagging MT pages.
-func (m *Manager) TrustedKey() mpk.Key { return trustedKey }
+func (m *Manager) TrustedKey() mpk.Key { return m.alloc.TrustedKey() }
 
-// AddDomain creates a new untrusted domain with its own key and pool.
+// SetTelemetry publishes the virtual-key gauges and counters into reg.
+func (m *Manager) SetTelemetry(reg *telemetry.Registry) { m.table.SetTelemetry(reg) }
+
+// AddDomain creates a new untrusted domain with its own logical key and
+// pool. There is no domain-count ceiling: the pool region is recycled
+// from removed domains when possible, and the logical key waits parked
+// until the first Enter binds it a hardware slot.
 func (m *Manager) AddDomain(name string) (*Domain, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.domains[name]; dup {
 		return nil, fmt.Errorf("domains: %q already exists", name)
 	}
-	if !m.nextKey.Valid() {
-		return nil, ErrKeysExhausted
-	}
-	key := m.nextKey
-	idx := uint64(key - firstDomKey)
-	base := domainBase + vm.Addr(idx*2*domainSize)
-	region, err := m.space.Reserve("domains/"+name, base, domainSize, key)
+	region, err := m.alloc.AddDomainPool(name, m.table.InactiveKey())
 	if err != nil {
 		return nil, err
 	}
-	d := &Domain{
-		Name: name,
-		Key:  key,
-		PKRU: mpk.DenyAllExcept(0, key),
-		pool: heap.NewFreeList(heap.NewPagePool(region), m.space),
+	id := m.table.Alloc(name)
+	if err := m.table.Attach(id, region.Base, region.Size); err != nil {
+		m.table.Free(id)
+		m.alloc.RemoveDomainPool(name)
+		return nil, err
 	}
+	d := &Domain{Name: name, VKey: id, region: region}
 	m.domains[name] = d
-	m.nextKey++
 	return d, nil
+}
+
+// RemoveDomain destroys a domain: its logical key is freed (hardware slot
+// recycled, pages parked on the inactive key, bound threads' PKRU rights
+// revoked) and its pool is scrubbed — every resident page zeroed, the
+// same hygiene pkalloc.QuarantineUntrusted applies to MU — then parked
+// for reuse by the next AddDomain. Tenant churn therefore consumes
+// neither protection keys nor address space.
+func (m *Manager) RemoveDomain(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.domains[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDomain, name)
+	}
+	if err := m.table.Free(d.VKey); err != nil {
+		return err
+	}
+	if err := m.alloc.RemoveDomainPool(name); err != nil {
+		return err
+	}
+	delete(m.domains, name)
+	return nil
 }
 
 // Domain returns the named domain.
@@ -137,53 +167,110 @@ func (m *Manager) Domains() []*Domain {
 
 // AllocTrusted allocates from MT.
 func (m *Manager) AllocTrusted(size uint64) (vm.Addr, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.trusted.Alloc(size)
+	return m.alloc.Alloc(size)
 }
 
 // AllocShared allocates from the key-0 pool every compartment can access.
 func (m *Manager) AllocShared(size uint64) (vm.Addr, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.shared.Alloc(size)
+	return m.alloc.UntrustedAlloc(size)
 }
 
 // Alloc allocates from the domain's private pool.
 func (m *Manager) Alloc(d *Domain, size uint64) (vm.Addr, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return d.pool.Alloc(size)
+	return m.alloc.DomainAlloc(d.Name, size)
 }
 
-// Free releases an allocation from whichever pool owns it.
+// Free releases an allocation from whichever pool owns it. Ownership
+// resolves through the address space's region index — one binary search
+// plus a map probe — never a scan over every domain pool.
 func (m *Manager) Free(addr vm.Addr) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.trusted.Owns(addr) {
-		return m.trusted.Free(addr)
-	}
-	if m.shared.Owns(addr) {
-		return m.shared.Free(addr)
-	}
-	for _, d := range m.domains {
-		if d.pool.Owns(addr) {
-			return d.pool.Free(addr)
-		}
-	}
-	return fmt.Errorf("domains: %v not owned by any pool", addr)
+	return m.alloc.Free(addr)
 }
 
-// Enter switches the thread into a domain, returning a restore function
-// that reinstates the previous rights — the call-gate discipline with a
-// per-entry saved value, generalized to N target domains. A nil domain
-// enters the trusted compartment (full rights), the reverse-gate case.
-func (m *Manager) Enter(th *vm.Thread, d *Domain) (restore func()) {
-	prev := th.Rights()
+// Stats returns the domain's pool counters.
+func (m *Manager) Stats(d *Domain) (heap.Stats, bool) {
+	return m.alloc.DomainStats(d.Name)
+}
+
+// rightsFor activates the domain's logical key and returns the PKRU to
+// install: shared key 0 plus the domain's (possibly freshly bound)
+// hardware slot. A nil domain is the trusted compartment.
+func (m *Manager) rightsFor(d *Domain) (mpk.PKRU, error) {
 	if d == nil {
-		th.SetRights(mpk.PermitAll)
-	} else {
-		th.SetRights(d.PKRU)
+		return mpk.PermitAll, nil
 	}
-	return func() { th.SetRights(prev) }
+	hw, _, err := m.table.Activate(d.VKey)
+	if err != nil {
+		return 0, err
+	}
+	return mpk.DenyAllExcept(0, hw), nil
+}
+
+// Enter switches the register into a domain through an audited gate:
+// the domain's logical key is activated (evicting the LRU domain if no
+// hardware slot is free), the rights are installed with the same
+// write-then-readback verification the ffi call gates perform, and the
+// register is bound to the table for eviction-time revocation. A nil
+// domain enters the trusted compartment, the reverse-gate case.
+//
+// The returned restore re-enters the *caller's* compartment — activating
+// its logical key again rather than reinstating the saved PKRU bits — so
+// the rights installed on exit are always current, even if an eviction
+// rebound the caller's old slot while the callee ran.
+func (m *Manager) Enter(reg mpk.RightsRegister, d *Domain) (restore func() error, err error) {
+	target, err := m.rightsFor(d)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if _, bound := m.stacks[reg]; !bound {
+		m.table.Bind(reg)
+	}
+	m.stacks[reg] = append(m.stacks[reg], d)
+	m.mu.Unlock()
+	if err := mpk.InstallAudited(reg, target); err != nil {
+		m.pop(reg)
+		return nil, err
+	}
+	return func() error {
+		prev, ok := m.pop(reg)
+		if !ok {
+			return errors.New("domains: restore past the bottom of the entry stack")
+		}
+		target, err := m.rightsFor(prev)
+		if err != nil {
+			return err
+		}
+		return mpk.InstallAudited(reg, target)
+	}, nil
+}
+
+// pop pops the register's entry stack and returns the new top
+// (the compartment restore must re-enter).
+func (m *Manager) pop(reg mpk.RightsRegister) (*Domain, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stacks[reg]
+	if len(st) == 0 {
+		return nil, false
+	}
+	st = st[:len(st)-1]
+	if len(st) == 0 {
+		delete(m.stacks, reg)
+		m.table.Unbind(reg)
+		return nil, true
+	}
+	m.stacks[reg] = st
+	return st[len(st)-1], true
+}
+
+// BindLibrary wires a registered untrusted library to the domain through
+// the ffi runtime: calls into the library gate with the domain's
+// activated rights (cross-domain calls gate even U→U) and the library's
+// allocations land in the domain's private pool.
+func (m *Manager) BindLibrary(rt *ffi.Runtime, lib string, d *Domain) {
+	rt.BindLibraryDomain(lib, ffi.DomainBinding{
+		Pool:   d.Name,
+		Rights: func() (mpk.PKRU, error) { return m.rightsFor(d) },
+	})
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/mpk"
 	"repro/internal/pkalloc"
+	"repro/internal/vkey"
 	"repro/internal/vm"
 )
 
@@ -206,5 +207,169 @@ func TestCheckpointUnwind(t *testing.T) {
 	}
 	if th.Depth() != 0 || th.CurrentTrust() != Trusted || th.VM.Rights() != cp.Rights() {
 		t.Errorf("state after unwind: depth=%d trust=%v rights=%v", th.Depth(), th.CurrentTrust(), th.VM.Rights())
+	}
+}
+
+// domainWorld builds a runtime with two untrusted libraries, each bound
+// to its own virtualized compartment: a private pkalloc domain pool and a
+// vkey logical key whose activation supplies the gate's rights.
+func domainWorld(t *testing.T) (*Runtime, *vkey.Table, map[string]vkey.ID) {
+	t.Helper()
+	space := vm.NewSpace()
+	alloc, err := pkalloc.New(pkalloc.Config{Space: space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := vkey.NewTable(space, vkey.Config{Reserved: []mpk.Key{alloc.TrustedKey()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	rt := NewRuntime(reg, alloc, nil, GatesOn)
+	ids := make(map[string]vkey.ID)
+	for _, name := range []string{"tenantA", "tenantB"} {
+		region, err := alloc.AddDomainPool(name, table.InactiveKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := table.Alloc(name)
+		if err := table.Attach(id, region.Base, region.Size); err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+		idc := id
+		rt.BindLibraryDomain(name, DomainBinding{
+			Pool: name,
+			Rights: func() (mpk.PKRU, error) {
+				hw, _, err := table.Activate(idc)
+				if err != nil {
+					return 0, err
+				}
+				return mpk.DenyAllExcept(0, hw), nil
+			},
+		})
+	}
+	return rt, table, ids
+}
+
+// TestDomainBoundGatesIsolateTenants: calls into a domain-bound library
+// pass through the audited gate with the domain's activated rights, its
+// allocations land in the domain's private pool, and neither the trusted
+// heap nor the sibling tenant's pool is reachable from inside.
+func TestDomainBoundGatesIsolateTenants(t *testing.T) {
+	rt, _, _ := domainWorld(t)
+	reg := rt.Registry
+	secret, err := rt.Alloc.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aBuf, bBuf vm.Addr
+	reg.MustLibrary("tenantB", Untrusted).Define("init", func(th *Thread, _ []uint64) ([]uint64, error) {
+		addr, err := th.Malloc(32)
+		if err != nil {
+			return nil, err
+		}
+		bBuf = addr
+		return nil, th.Store64(addr, 0xb)
+	})
+	reg.MustLibrary("tenantA", Untrusted).Define("probe", func(th *Thread, _ []uint64) ([]uint64, error) {
+		addr, err := th.Malloc(32)
+		if err != nil {
+			return nil, err
+		}
+		aBuf = addr
+		if err := th.Store64(addr, 0xa); err != nil {
+			return nil, err
+		}
+		if _, err := th.Load64(secret); err == nil {
+			t.Error("tenantA read MT")
+		}
+		if _, err := th.Load64(bBuf); err == nil {
+			t.Error("tenantA read tenantB's private pool")
+		}
+		return nil, nil
+	})
+
+	th := rt.NewThread()
+	if _, err := th.Call("tenantB", "init"); err != nil {
+		t.Fatal(err)
+	}
+	if rB, okB := rt.Alloc.DomainRegion("tenantB"); !okB || !rB.Contains(bBuf) {
+		t.Errorf("tenantB allocation %v not in its domain pool", bBuf)
+	}
+	before := rt.Transitions()
+	if _, err := th.Call("tenantA", "probe"); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Transitions() != before+1 {
+		t.Errorf("domain-bound call did not gate: transitions %d -> %d", before, rt.Transitions())
+	}
+	if rA, okA := rt.Alloc.DomainRegion("tenantA"); !okA || !rA.Contains(aBuf) {
+		t.Errorf("tenantA allocation %v not in its domain pool", aBuf)
+	}
+	if th.VM.Rights() != mpk.PermitAll {
+		t.Errorf("rights after domain call = %v, want restored PermitAll", th.VM.Rights())
+	}
+	if rt.Aborted() {
+		t.Error("runtime aborted during clean domain calls")
+	}
+}
+
+// TestCrossDomainCallsGateEvenUntrustedToUntrusted: two untrusted
+// libraries in different domains must still gate between each other — a
+// U→U call with unchanged rights would merge the sandboxes.
+func TestCrossDomainCallsGateEvenUntrustedToUntrusted(t *testing.T) {
+	rt, _, _ := domainWorld(t)
+	reg := rt.Registry
+	var inB mpk.PKRU
+	reg.MustLibrary("tenantB", Untrusted).Define("leaf", func(th *Thread, _ []uint64) ([]uint64, error) {
+		inB = th.VM.Rights()
+		return nil, nil
+	})
+	var inA, backInA mpk.PKRU
+	reg.MustLibrary("tenantA", Untrusted).Define("nest", func(th *Thread, _ []uint64) ([]uint64, error) {
+		inA = th.VM.Rights()
+		if _, err := th.Call("tenantB", "leaf"); err != nil {
+			return nil, err
+		}
+		backInA = th.VM.Rights()
+		return nil, nil
+	})
+	th := rt.NewThread()
+	before := rt.Transitions()
+	if _, err := th.Call("tenantA", "nest"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Transitions() - before; got != 2 {
+		t.Errorf("nested cross-domain call made %d gated transitions, want 2", got)
+	}
+	if inA == inB {
+		t.Error("tenantA and tenantB ran with identical rights — sandboxes merged")
+	}
+	if backInA != inA {
+		t.Errorf("rights after inner call = %v, want %v restored", backInA, inA)
+	}
+}
+
+// TestDomainRightsFailureFailsClosed: if activating the domain's key
+// fails, the call must not proceed with the caller's rights.
+func TestDomainRightsFailureFailsClosed(t *testing.T) {
+	rt, table, ids := domainWorld(t)
+	reg := rt.Registry
+	ran := false
+	reg.MustLibrary("tenantA", Untrusted).Define("f", func(*Thread, []uint64) ([]uint64, error) {
+		ran = true
+		return nil, nil
+	})
+	// Freeing the logical key makes the Rights callback error.
+	if err := table.Free(ids["tenantA"]); err != nil {
+		t.Fatal(err)
+	}
+	th := rt.NewThread()
+	if _, err := th.Call("tenantA", "f"); !errors.Is(err, vkey.ErrUnknownKey) {
+		t.Fatalf("call with dead domain key = %v, want ErrUnknownKey", err)
+	}
+	if ran {
+		t.Error("callee ran despite rights-activation failure")
 	}
 }

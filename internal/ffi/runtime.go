@@ -3,6 +3,7 @@ package ffi
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,58 @@ type Runtime struct {
 	aborted       atomic.Bool
 	tel           *runtimeTelemetry
 	sink          CrossingSink
+
+	domainMu sync.RWMutex
+	domains  map[string]DomainBinding // per-library compartment bindings
+	nDomains atomic.Int32             // len(domains), read lock-free on the call path
+}
+
+// DomainBinding ties an untrusted library to a virtualized compartment:
+// calls into the library gate through the Rights callback (which activates
+// the domain's logical key and returns the PKRU to install — possibly
+// evicting another domain's slot to do it), and the library's allocations
+// route to the named per-domain pool instead of the shared MU.
+type DomainBinding struct {
+	// Pool is the pkalloc domain pool the library allocates from; empty
+	// keeps the shared MU pool.
+	Pool string
+	// Rights returns the PKRU a gate installs when entering the library.
+	// It runs on every gated entry, so slot activation (and the eviction
+	// it may trigger) happens exactly at the compartment switch.
+	Rights func() (mpk.PKRU, error)
+}
+
+// BindLibraryDomain attaches (or, with a zero binding, detaches) a
+// per-library domain binding. Calls into a bound untrusted library always
+// gate — even from other untrusted code — because crossing between two
+// mutually-distrusting domains needs a rights switch just like crossing
+// the T/U boundary.
+func (rt *Runtime) BindLibraryDomain(lib string, b DomainBinding) {
+	rt.domainMu.Lock()
+	defer rt.domainMu.Unlock()
+	if rt.domains == nil {
+		rt.domains = make(map[string]DomainBinding)
+	}
+	if b.Pool == "" && b.Rights == nil {
+		delete(rt.domains, lib)
+	} else {
+		rt.domains[lib] = b
+	}
+	rt.nDomains.Store(int32(len(rt.domains)))
+}
+
+// domainBinding returns the binding for lib, if any. The unbound case —
+// every run that never calls BindLibraryDomain — is a single atomic
+// load, so the two-compartment call path pays nothing for the domains
+// feature.
+func (rt *Runtime) domainBinding(lib string) (DomainBinding, bool) {
+	if rt.nDomains.Load() == 0 {
+		return DomainBinding{}, false
+	}
+	rt.domainMu.RLock()
+	defer rt.domainMu.RUnlock()
+	b, ok := rt.domains[lib]
+	return b, ok
 }
 
 // CrossingSink receives one observation per forward (T→U) gate traversal:
@@ -198,6 +251,7 @@ type Thread struct {
 	VM    *vm.Thread
 	stack []mpk.PKRU // saved rights, pushed by gates
 	trust []Trust    // logical compartment of the running code
+	libs  []string   // library whose code is running, parallel to trust
 }
 
 // Runtime returns the owning runtime.
@@ -236,14 +290,28 @@ func (t *Thread) Call(lib, fn string, args ...uint64) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if t.rt.mode == GatesOn && l.Trust != t.CurrentTrust() {
+	if t.rt.mode == GatesOn {
 		target := mpk.PermitAll
+		gated := l.Trust != t.CurrentTrust()
 		if l.Trust == Untrusted {
 			target = t.rt.untrustedPKRU
+			if b, ok := t.rt.domainBinding(l.Name); ok && b.Rights != nil {
+				r, err := b.Rights()
+				if err != nil {
+					return nil, fmt.Errorf("ffi: activating domain for %s: %w", l.Name, err)
+				}
+				// Cross-domain calls gate even U→U: a different rights
+				// value means a different compartment, and entering it
+				// with the caller's PKRU would merge the two sandboxes.
+				target = r
+				gated = gated || t.VM.Rights() != target
+			}
 		}
-		return t.throughGate(l.Name, l.Trust, target, f, args)
+		if gated {
+			return t.throughGate(l.Name, l.Trust, target, f, args)
+		}
 	}
-	return t.plainCall(l.Trust, f, args)
+	return t.plainCall(l.Name, l.Trust, f, args)
 }
 
 // CallNoGate invokes lib.fn without any gate, regardless of annotations.
@@ -259,15 +327,19 @@ func (t *Thread) CallNoGate(lib, fn string, args ...uint64) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.plainCall(l.Trust, f, args)
+	return t.plainCall(l.Name, l.Trust, f, args)
 }
 
 // plainCall runs f with the callee's logical trust pushed but no rights
 // change. The pop rides a defer so a panicking callee leaves the trust
 // stack balanced while the panic propagates.
-func (t *Thread) plainCall(trust Trust, f Func, args []uint64) ([]uint64, error) {
+func (t *Thread) plainCall(libName string, trust Trust, f Func, args []uint64) ([]uint64, error) {
 	t.trust = append(t.trust, trust)
-	defer func() { t.trust = t.trust[:len(t.trust)-1] }()
+	t.libs = append(t.libs, libName)
+	defer func() {
+		t.trust = t.trust[:len(t.trust)-1]
+		t.libs = t.libs[:len(t.libs)-1]
+	}()
 	return f(t, args)
 }
 
@@ -302,15 +374,22 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Fun
 	prev := t.VM.Rights()
 	t.stack = append(t.stack, prev)
 	t.trust = append(t.trust, trust)
-	t.VM.SetRights(target)
+	t.libs = append(t.libs, libName)
+	enterErr := mpk.InstallAudited(t.VM, target)
 	wrpkruDelay(t.rt.gateCost)
 	if t.rt.ring != nil {
 		t.rt.ring.Emit(trace.Event{Kind: trace.GateEnter, A: uint64(uint32(target))})
 	}
 	defer func() {
 		t.trust = t.trust[:len(t.trust)-1]
+		t.libs = t.libs[:len(t.libs)-1]
 		t.stack = t.stack[:len(t.stack)-1]
-		t.VM.SetRights(prev)
+		// The exit half is audited exactly like the entry: restoring the
+		// caller's rights without proving the write stuck is the Garmr
+		// gate-exit class — trusted code would resume on a poisoned PKRU.
+		if err := mpk.InstallAudited(t.VM, prev); err != nil {
+			t.rt.aborted.Store(true)
+		}
 		wrpkruDelay(t.rt.gateCost)
 		if t.rt.ring != nil {
 			t.rt.ring.Emit(trace.Event{Kind: trace.GateExit, A: uint64(uint32(prev))})
@@ -323,9 +402,9 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Fun
 	// The gate's self-check: the PKRU we installed must be the one the gate
 	// was compiled to enforce. On real hardware this defeats whole-function
 	// reuse of gates under CFI; here it guards against runtime tampering.
-	if t.VM.Rights() != target {
+	if enterErr != nil {
 		t.rt.aborted.Store(true)
-		return nil, ErrGateTampered
+		return nil, fmt.Errorf("%w: %v", ErrGateTampered, enterErr)
 	}
 	t.rt.transitions.Add(1)
 	return f(t, args)
@@ -368,11 +447,14 @@ func (t *Thread) Unwind(cp Checkpoint) error {
 	}
 	t.stack = t.stack[:cp.gateDepth]
 	t.trust = t.trust[:cp.trustDepth]
-	t.VM.SetRights(cp.rights)
+	if cp.trustDepth <= len(t.libs) {
+		t.libs = t.libs[:cp.trustDepth]
+	}
+	err := mpk.InstallAudited(t.VM, cp.rights)
 	wrpkruDelay(t.rt.gateCost)
-	if t.VM.Rights() != cp.rights {
+	if err != nil {
 		t.rt.aborted.Store(true)
-		return ErrGateTampered
+		return fmt.Errorf("%w: %v", ErrGateTampered, err)
 	}
 	if t.rt.ring != nil {
 		t.rt.ring.Emit(trace.Event{Kind: trace.Recover, A: uint64(uint32(cp.rights)), Note: "unwind"})
@@ -380,10 +462,25 @@ func (t *Thread) Unwind(cp Checkpoint) error {
 	return nil
 }
 
+// CurrentLib returns the library whose code is logically running, or ""
+// in the initial trusted frame.
+func (t *Thread) CurrentLib() string {
+	if len(t.libs) == 0 {
+		return ""
+	}
+	return t.libs[len(t.libs)-1]
+}
+
 // Malloc allocates from the pool appropriate to the running code's
-// compartment: untrusted code gets MU (libc malloc), trusted code MT.
+// compartment: untrusted code gets MU (libc malloc) — or its library's
+// private domain pool when one is bound — and trusted code gets MT.
 func (t *Thread) Malloc(size uint64) (vm.Addr, error) {
 	if t.InUntrusted() {
+		if lib := t.CurrentLib(); lib != "" {
+			if b, ok := t.rt.domainBinding(lib); ok && b.Pool != "" {
+				return t.rt.Alloc.DomainAlloc(b.Pool, size)
+			}
+		}
 		return t.rt.Alloc.UntrustedAlloc(size)
 	}
 	return t.rt.Alloc.Alloc(size)

@@ -9,6 +9,7 @@
 package mpk
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -96,6 +97,36 @@ func DenyAllExcept(keys ...Key) PKRU {
 		p = p.With(k, AllowAll)
 	}
 	return p
+}
+
+// RightsRegister is the slice of a CPU context the audited installer
+// needs: the PKRU register, readable and writable. vm.Thread implements it;
+// tests substitute tampering fakes to prove the audit catches a WRPKRU
+// that did not take effect.
+type RightsRegister interface {
+	Rights() PKRU
+	SetRights(PKRU)
+}
+
+// ErrRightsAudit is returned when a write-then-readback PKRU installation
+// finds a different value than the one it wrote — the hardened gate
+// sequence PKRU-Safe compiles into its assembly stubs, and the check Garmr
+// shows every compartment transition needs (an unchecked WRPKRU-equivalent
+// path is a sandbox escape).
+var ErrRightsAudit = errors.New("mpk: PKRU readback does not match installed value")
+
+// InstallAudited performs one audited WRPKRU: write the target rights,
+// read the register back, and fail if the value that stuck differs from
+// the value written. Every compartment gate half — ffi call-gate enter and
+// exit, supervisor unwind, domain entry and exit — routes its rights
+// switch through this single primitive so no gate can silently skip the
+// verification.
+func InstallAudited(r RightsRegister, target PKRU) error {
+	r.SetRights(target)
+	if got := r.Rights(); got != target {
+		return fmt.Errorf("%w: wrote %v, read back %v", ErrRightsAudit, target, got)
+	}
+	return nil
 }
 
 func (p PKRU) String() string {

@@ -1,6 +1,7 @@
 package mpk
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -292,5 +293,32 @@ func TestPKRUStringRoundTrip(t *testing.T) {
 	f := func(raw uint32) bool { return parse(PKRU(raw).String()) == canonical(PKRU(raw)) }
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// obedientRegister is a plain PKRU cell; tamperRegister drops every write.
+type obedientRegister struct{ p PKRU }
+
+func (r *obedientRegister) Rights() PKRU     { return r.p }
+func (r *obedientRegister) SetRights(p PKRU) { r.p = p }
+
+type tamperRegister struct{ p PKRU }
+
+func (r *tamperRegister) Rights() PKRU   { return r.p }
+func (r *tamperRegister) SetRights(PKRU) {}
+
+func TestInstallAudited(t *testing.T) {
+	target := DenyAllExcept(0, 3)
+	ok := &obedientRegister{}
+	if err := InstallAudited(ok, target); err != nil {
+		t.Fatalf("InstallAudited on obedient register: %v", err)
+	}
+	if ok.p != target {
+		t.Fatalf("installed %v, want %v", ok.p, target)
+	}
+	bad := &tamperRegister{p: PermitAll}
+	err := InstallAudited(bad, target)
+	if !errors.Is(err, ErrRightsAudit) {
+		t.Fatalf("InstallAudited on tampering register = %v, want ErrRightsAudit", err)
 	}
 }

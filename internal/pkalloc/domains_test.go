@@ -1,0 +1,128 @@
+package pkalloc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func newDomainAllocator(t testing.TB) *Allocator {
+	t.Helper()
+	a, err := New(Config{Space: vm.NewSpace()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDomainPoolLifecycle(t *testing.T) {
+	a := newDomainAllocator(t)
+	r, err := a.AddDomainPool("js", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddDomainPool("js", 5); err == nil {
+		t.Error("duplicate pool accepted")
+	}
+	addr, err := a.DomainAlloc("js", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(addr) {
+		t.Errorf("allocation %v outside pool region %v", addr, r.Base)
+	}
+	if c, ok := a.CompartmentOf(addr); !ok || c != Untrusted {
+		t.Errorf("CompartmentOf(%v) = %v, %v", addr, c, ok)
+	}
+	if err := a.Free(addr); err != nil {
+		t.Errorf("Free via region lookup: %v", err)
+	}
+	if err := a.RemoveDomainPool("js"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DomainAlloc("js", 64); err == nil {
+		t.Error("alloc from removed pool accepted")
+	}
+	if err := a.RemoveDomainPool("js"); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+// TestDomainPoolRegionRecycling: churn must not leak address-space
+// reservations — vm.Space has no unreserve, so removed pools' regions
+// are reused by the next add.
+func TestDomainPoolRegionRecycling(t *testing.T) {
+	a := newDomainAllocator(t)
+	r1, err := a.AddDomainPool("first", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residue check: scrub on removal.
+	addr, err := a.DomainAlloc("first", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Space().Poke(addr, []byte{0xaa, 0xbb, 0xcc, 0xdd, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RemoveDomainPool("first"); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.AddDomainPool("second", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Base != r1.Base {
+		t.Errorf("recycled pool base = %v, want %v reused", r2.Base, r1.Base)
+	}
+	if k, ok := a.Space().PKeyAt(addr); !ok || k != 6 {
+		t.Errorf("recycled pool page key = %v, want retagged 6", k)
+	}
+	buf := make([]byte, 8)
+	if err := a.Space().Peek(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatalf("recycled pool leaked prior tenant's bytes: % x", buf)
+		}
+	}
+	regions := len(a.Space().Regions())
+	for i := 0; i < 50; i++ {
+		if err := a.RemoveDomainPool("second"); i == 0 && err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.AddDomainPool("second", 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(a.Space().Regions()); got != regions {
+		t.Errorf("region count grew %d -> %d under churn", regions, got)
+	}
+}
+
+func TestDomainFreeResolvesOwnerViaRegionIndex(t *testing.T) {
+	a := newDomainAllocator(t)
+	const pools = 32
+	addrs := make([]vm.Addr, pools)
+	for i := 0; i < pools; i++ {
+		name := fmt.Sprintf("p%d", i)
+		if _, err := a.AddDomainPool(name, 5); err != nil {
+			t.Fatal(err)
+		}
+		addr, err := a.DomainAlloc(name, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+	}
+	for i, addr := range addrs {
+		if err := a.Free(addr); err != nil {
+			t.Errorf("Free from pool %d: %v", i, err)
+		}
+	}
+	if err := a.Free(0x1234); err == nil {
+		t.Error("free of unowned address accepted")
+	}
+}

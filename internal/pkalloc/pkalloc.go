@@ -94,6 +94,12 @@ type Allocator struct {
 	regionU   *vm.Region
 	key       mpk.Key
 	uEpoch    uint64 // incremented by each untrusted-pool quarantine
+
+	// Per-domain pools (see domains.go); nil until the first AddDomainPool.
+	pools        map[string]*domainPool
+	byBase       map[vm.Addr]*domainPool // pool by region base, for O(1) Free
+	freeRegions  []*vm.Region            // scrubbed regions awaiting reuse
+	nextPoolBase vm.Addr
 }
 
 // New reserves both pools in cfg.Space and returns the allocator.
@@ -239,9 +245,13 @@ func (a *Allocator) ownerLocked(addr vm.Addr) (heap.Allocator, Compartment, erro
 		return a.trusted, Trusted, nil
 	case a.regionU.Contains(addr):
 		return a.untrusted, Untrusted, nil
-	default:
-		return nil, 0, fmt.Errorf("%w: %v", ErrNotOwned, addr)
 	}
+	// Domain pools resolve through the space's region index, not a scan
+	// over every pool — Free must stay O(log regions) under tenant churn.
+	if alloc, ok := a.domainOwnerLocked(addr); ok {
+		return alloc, Untrusted, nil
+	}
+	return nil, 0, fmt.Errorf("%w: %v", ErrNotOwned, addr)
 }
 
 // QuarantineUntrusted resets the MU pool after a compartment failure: the

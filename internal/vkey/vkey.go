@@ -1,0 +1,499 @@
+// Package vkey virtualizes protection keys in the style of libmpk: an
+// unbounded space of logical keys (vkey.ID) is multiplexed onto the 16
+// hardware mpk.Key slots through an LRU eviction cache.
+//
+// Hardware MPK gives a process 16 keys; production systems want one
+// compartment per tenant or per library, which exhausts the hardware in
+// minutes of tenant churn. The Table lifts the cap: a logical key is
+// created with Alloc, tied to page ranges with Attach, and bound to a
+// hardware slot lazily on Activate. When every slot is taken, the
+// least-recently-activated logical key is evicted — its pages are retagged
+// to a reserved *inactive* hardware key that no restricted PKRU ever
+// grants (pkey_sync semantics: an evicted key's memory becomes
+// inaccessible, not unprotected), and the freed slot's rights are revoked
+// in every bound vm.Thread's PKRU register. That revocation is the defense
+// against the Garmr stale-PKRU hazard: a thread still holding rights for a
+// hardware slot after the slot was rebound to a different logical key
+// would otherwise reach the new tenant's memory.
+//
+// Freeing a logical key parks its pages on the inactive key and recycles
+// the slot, so tenant churn never exhausts the hardware — the key-leak the
+// old fixed-key domain manager had.
+package vkey
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mpk"
+	"repro/internal/telemetry"
+	"repro/internal/vm"
+)
+
+// ID is a logical protection key. IDs are never reused; the zero ID is
+// invalid, so a forgotten Alloc shows up as ErrUnknownKey, not as key 0.
+type ID uint32
+
+func (id ID) String() string { return fmt.Sprintf("vkey%d", uint32(id)) }
+
+// DefaultInactiveKey is the hardware key evicted and freed logical keys'
+// pages are parked on. Restricted PKRU values built with
+// mpk.DenyAllExcept never grant it, so parked memory faults on any
+// untrusted access; only the trusted compartment's full-rights register
+// (mpk.PermitAll) can still reach it.
+const DefaultInactiveKey mpk.Key = 15
+
+// ErrUnknownKey is returned for operations on an ID the table never
+// allocated or has already freed.
+var ErrUnknownKey = errors.New("vkey: unknown or freed logical key")
+
+// ErrNoSlots is returned when Activate needs a hardware slot and every
+// slot is pinned by a key that cannot be evicted (all slots active with
+// eviction disabled — cannot happen with a normal Config).
+var ErrNoSlots = errors.New("vkey: no hardware slot available")
+
+// Config parameterizes NewTable.
+type Config struct {
+	// Reserved lists hardware keys the table must never hand out: key 0
+	// (the shared/default key) and the trusted pool's key at minimum.
+	// Key 0 and Inactive are always treated as reserved.
+	Reserved []mpk.Key
+	// Inactive is the parking key (DefaultInactiveKey when zero).
+	Inactive mpk.Key
+}
+
+// span is one page range attached to a logical key.
+type span struct {
+	base vm.Addr
+	size uint64
+}
+
+// entry is one live logical key.
+type entry struct {
+	id      ID
+	name    string
+	hw      mpk.Key // valid only when active
+	active  bool    // bound to a hardware slot
+	faulted bool
+	ranges  []span
+	lastUse uint64 // LRU clock tick of the most recent Activate
+}
+
+// Stats is a snapshot of the table's state and activity. The counters are
+// monotone; the gauges describe the instant of the snapshot.
+type Stats struct {
+	Slots   int // multiplexable hardware slots
+	Logical int // live logical keys (active + parked)
+	Active  int // logical keys currently bound to a hardware slot
+	Parked  int // logical keys evicted to the inactive key
+	Faulted int // live logical keys marked faulted
+
+	Activations   uint64 // Activate calls
+	SlotHits      uint64 // Activate found the key already bound
+	SlotMisses    uint64 // Activate had to bind (and possibly evict)
+	Evictions     uint64 // logical keys pushed off a slot
+	Recycled      uint64 // hardware slots returned by Free
+	Invalidations uint64 // bound-thread PKRU revocations on eviction
+}
+
+// Table multiplexes logical keys onto hardware slots. It is safe for
+// concurrent use.
+type Table struct {
+	mu       sync.Mutex
+	space    *vm.Space
+	inactive mpk.Key
+	free     []mpk.Key // unbound hardware slots
+	slots    map[mpk.Key]*entry
+	entries  map[ID]*entry
+	threads  map[mpk.RightsRegister]struct{}
+	clock    uint64
+	nextID   ID
+	nslots   int
+
+	activations   uint64
+	slotHits      uint64
+	slotMisses    uint64
+	evictions     uint64
+	recycled      uint64
+	invalidations uint64
+	faulted       int
+
+	// staleEvict, when set, sabotages eviction by skipping the retag of
+	// the victim's pages — the planted stale-slot-after-eviction bug the
+	// conformance oracle must catch. Never set outside fault injection.
+	staleEvict bool
+
+	tel *tableTelemetry
+}
+
+// NewTable builds a table over space. Every architecturally valid key that
+// is neither reserved nor the inactive key becomes a multiplexable slot.
+func NewTable(space *vm.Space, cfg Config) (*Table, error) {
+	if space == nil {
+		return nil, errors.New("vkey: space is required")
+	}
+	inactive := cfg.Inactive
+	if inactive == 0 {
+		inactive = DefaultInactiveKey
+	}
+	if !inactive.Valid() {
+		return nil, fmt.Errorf("vkey: invalid inactive key %d", inactive)
+	}
+	reserved := map[mpk.Key]bool{0: true, inactive: true}
+	for _, k := range cfg.Reserved {
+		if !k.Valid() {
+			return nil, fmt.Errorf("vkey: invalid reserved key %d", k)
+		}
+		reserved[k] = true
+	}
+	t := &Table{
+		space:    space,
+		inactive: inactive,
+		slots:    make(map[mpk.Key]*entry),
+		entries:  make(map[ID]*entry),
+		threads:  make(map[mpk.RightsRegister]struct{}),
+		nextID:   1,
+	}
+	for k := mpk.Key(0); k < mpk.NumKeys; k++ {
+		if !reserved[k] {
+			t.free = append(t.free, k)
+		}
+	}
+	t.nslots = len(t.free)
+	if t.nslots == 0 {
+		return nil, errors.New("vkey: every hardware key is reserved")
+	}
+	return t, nil
+}
+
+// InactiveKey returns the parking key evicted pages are retagged to.
+func (t *Table) InactiveKey() mpk.Key { return t.inactive }
+
+// Slots returns the number of multiplexable hardware slots.
+func (t *Table) Slots() int { return t.nslots }
+
+// Alloc creates a new logical key. The key starts parked (no hardware
+// slot, no pages); Attach ties pages to it and Activate binds a slot.
+func (t *Table) Alloc(name string) ID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	t.nextID++
+	t.entries[id] = &entry{id: id, name: name}
+	t.publish()
+	return id
+}
+
+// Free releases a logical key: its pages are parked on the inactive key,
+// its hardware slot (if any) returns to the free pool, and the ID becomes
+// invalid. The caller is responsible for scrubbing the pages first if they
+// held tenant data (pkalloc's quarantine semantics).
+func (t *Table) Free(id ID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownKey, id)
+	}
+	if e.active {
+		if err := t.unbindLocked(e); err != nil {
+			return err
+		}
+		t.recycled++
+	} else if err := t.retagLocked(e, t.inactive); err != nil {
+		// Parked entries are already on the inactive key; the retag is a
+		// no-op repeated here only so a failure cannot leak tagged pages.
+		return err
+	}
+	if e.faulted {
+		t.faulted--
+	}
+	delete(t.entries, id)
+	t.publish()
+	return nil
+}
+
+// Attach ties the page range [base, base+size) to the logical key: the
+// range is retagged to the key's current binding — its hardware slot when
+// active, the inactive key when parked — and is retagged again on every
+// later eviction and activation. The range must be page-aligned and fully
+// reserved in the table's space.
+func (t *Table) Attach(id ID, base vm.Addr, size uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownKey, id)
+	}
+	key := t.inactive
+	if e.active {
+		key = e.hw
+	}
+	if err := t.space.SetPKey(base, size, key); err != nil {
+		return fmt.Errorf("vkey: attach %v: %w", id, err)
+	}
+	e.ranges = append(e.ranges, span{base: base, size: size})
+	return nil
+}
+
+// Detach forgets every page range tied to the key without retagging, for
+// callers that recycle the underlying region under a different key.
+func (t *Table) Detach(id ID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownKey, id)
+	}
+	e.ranges = nil
+	return nil
+}
+
+// Activate ensures the logical key is bound to a hardware slot, evicting
+// the least-recently-activated key if every slot is taken, and returns the
+// slot. The boolean reports a miss: the key was not bound on entry and a
+// slot had to be found for it.
+func (t *Table) Activate(id ID) (mpk.Key, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return 0, false, fmt.Errorf("%w: %v", ErrUnknownKey, id)
+	}
+	t.activations++
+	t.clock++
+	e.lastUse = t.clock
+	if e.active {
+		t.slotHits++
+		return e.hw, false, nil
+	}
+	t.slotMisses++
+	if len(t.free) == 0 {
+		victim := t.lruLocked()
+		if victim == nil {
+			return 0, false, ErrNoSlots
+		}
+		t.evictions++
+		if err := t.unbindLocked(victim); err != nil {
+			return 0, false, err
+		}
+	}
+	hw := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	e.hw, e.active = hw, true
+	t.slots[hw] = e
+	if err := t.retagLocked(e, hw); err != nil {
+		return 0, false, err
+	}
+	t.publish()
+	return hw, true, nil
+}
+
+// HardwareKey returns the slot the key is currently bound to, if any.
+func (t *Table) HardwareKey(id ID) (mpk.Key, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok || !e.active {
+		return 0, false
+	}
+	return e.hw, true
+}
+
+// lruLocked picks the active entry with the oldest lastUse.
+func (t *Table) lruLocked() *entry {
+	var victim *entry
+	for _, e := range t.slots {
+		if victim == nil || e.lastUse < victim.lastUse {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// unbindLocked pushes an active entry off its slot: pages are parked on
+// the inactive key (unless the stale-eviction fault is planted), the
+// slot's rights are revoked in every bound thread, and the slot returns to
+// the free pool. Free also lands here — rights are revoked even then, so a
+// recycled slot never inherits a stale grant.
+func (t *Table) unbindLocked(e *entry) error {
+	hw := e.hw
+	if !t.staleEvict {
+		if err := t.retagLocked(e, t.inactive); err != nil {
+			return err
+		}
+	}
+	e.active = false
+	delete(t.slots, hw)
+	t.free = append(t.free, hw)
+	t.revokeLocked(hw)
+	t.publish()
+	return nil
+}
+
+// retagLocked moves every attached range of e onto key.
+func (t *Table) retagLocked(e *entry, key mpk.Key) error {
+	for _, s := range e.ranges {
+		if err := t.space.SetPKey(s.base, s.size, key); err != nil {
+			return fmt.Errorf("vkey: retag %v to %v: %w", e.id, key, err)
+		}
+	}
+	return nil
+}
+
+// revokeLocked strips rights for a rebound hardware slot from every bound
+// thread whose PKRU still grants them — the pkey_sync/Garmr revalidation.
+// The trusted full-rights register (mpk.PermitAll) is left alone: the
+// trusted compartment legitimately reaches every key, so PermitAll is not
+// a stale per-slot grant; every *restricted* register granting the slot
+// must have gotten it from the evicted logical key and loses it.
+func (t *Table) revokeLocked(hw mpk.Key) {
+	for th := range t.threads {
+		r := th.Rights()
+		if r == mpk.PermitAll {
+			continue
+		}
+		if r.Rights(hw) != mpk.DenyAll {
+			th.SetRights(r.With(hw, mpk.DenyAll))
+			t.invalidations++
+		}
+	}
+}
+
+// Bind registers a thread's rights register for eviction-time PKRU
+// revocation. Every thread that enters virtualized compartments must be
+// bound, or it can keep stale rights for a rebound slot.
+func (t *Table) Bind(th mpk.RightsRegister) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.threads[th] = struct{}{}
+}
+
+// Unbind removes a thread from eviction-time revocation.
+func (t *Table) Unbind(th mpk.RightsRegister) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.threads, th)
+}
+
+// MarkFaulted flags a live logical key as having faulted (a compartment
+// fault attributed to its domain); the count surfaces as a gauge.
+func (t *Table) MarkFaulted(id ID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownKey, id)
+	}
+	if !e.faulted {
+		e.faulted = true
+		t.faulted++
+		t.publish()
+	}
+	return nil
+}
+
+// InjectStaleEviction plants (or clears) the stale-slot-after-eviction
+// bug: evicted keys' pages keep their old hardware tag, so the next tenant
+// bound to the recycled slot can reach them. Exists solely so the
+// conformance oracle can prove it catches this class; never set in
+// production paths.
+func (t *Table) InjectStaleEviction(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.staleEvict = on
+}
+
+// Stats returns a snapshot of gauges and counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.statsLocked()
+}
+
+func (t *Table) statsLocked() Stats {
+	return Stats{
+		Slots:         t.nslots,
+		Logical:       len(t.entries),
+		Active:        len(t.slots),
+		Parked:        len(t.entries) - len(t.slots),
+		Faulted:       t.faulted,
+		Activations:   t.activations,
+		SlotHits:      t.slotHits,
+		SlotMisses:    t.slotMisses,
+		Evictions:     t.evictions,
+		Recycled:      t.recycled,
+		Invalidations: t.invalidations,
+	}
+}
+
+// tableTelemetry holds the registry handles the table publishes into.
+type tableTelemetry struct {
+	active  *telemetry.Gauge
+	parked  *telemetry.Gauge
+	faulted *telemetry.Gauge
+	logical *telemetry.Gauge
+
+	activations   *telemetry.Counter
+	misses        *telemetry.Counter
+	evictions     *telemetry.Counter
+	recycled      *telemetry.Counter
+	invalidations *telemetry.Counter
+}
+
+// SetTelemetry attaches the table to a metrics registry: the vkey gauges
+// (active / parked / faulted / logical) track the live population and the
+// counters mirror activations, slot misses, evictions, slot recycling and
+// eviction-time PKRU invalidations. A nil registry detaches.
+func (t *Table) SetTelemetry(reg *telemetry.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if reg == nil {
+		t.tel = nil
+		return
+	}
+	t.tel = &tableTelemetry{
+		active:  reg.Gauge("pkrusafe_vkey_active", "Logical protection keys currently bound to a hardware slot."),
+		parked:  reg.Gauge("pkrusafe_vkey_parked", "Logical protection keys evicted to the inactive key."),
+		faulted: reg.Gauge("pkrusafe_vkey_faulted", "Live logical protection keys marked faulted."),
+		logical: reg.Gauge("pkrusafe_vkey_logical", "Live logical protection keys (active + parked)."),
+		activations: reg.Counter("pkrusafe_vkey_activations_total",
+			"Activate calls resolving a logical key to a hardware slot."),
+		misses: reg.Counter("pkrusafe_vkey_slot_misses_total",
+			"Activations that had to bind a slot (and possibly evict)."),
+		evictions: reg.Counter("pkrusafe_vkey_evictions_total",
+			"Logical keys pushed off their hardware slot by LRU eviction."),
+		recycled: reg.Counter("pkrusafe_vkey_recycled_total",
+			"Hardware slots returned to the free pool by Free."),
+		invalidations: reg.Counter("pkrusafe_vkey_invalidations_total",
+			"Bound-thread PKRU revocations performed on eviction."),
+	}
+	t.publish()
+}
+
+// publish mirrors the current stats into the attached registry. Counters
+// are set by delta so the registry stays monotone.
+func (t *Table) publish() {
+	tel := t.tel
+	if tel == nil {
+		return
+	}
+	st := t.statsLocked()
+	tel.active.Set(float64(st.Active))
+	tel.parked.Set(float64(st.Parked))
+	tel.faulted.Set(float64(st.Faulted))
+	tel.logical.Set(float64(st.Logical))
+	setCounter(tel.activations, st.Activations)
+	setCounter(tel.misses, st.SlotMisses)
+	setCounter(tel.evictions, st.Evictions)
+	setCounter(tel.recycled, st.Recycled)
+	setCounter(tel.invalidations, st.Invalidations)
+}
+
+// setCounter advances a registry counter to an absolute monotone value.
+func setCounter(c *telemetry.Counter, v uint64) {
+	if cur := c.Value(); v > cur {
+		c.Add(v - cur)
+	}
+}
