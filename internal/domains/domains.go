@@ -51,16 +51,17 @@ func (d *Domain) Region() *vm.Region { return d.region }
 
 // Manager owns the trusted pool, the shared pool, the per-domain pools
 // and the virtual-key table. It is safe for concurrent use.
+//
+// The per-register nesting of entered compartments lives in the vkey
+// table's compartment stacks, not here: domain entry/exit and the ffi
+// domain gates push frames onto the same stack, so exits always re-derive
+// the caller's rights from the table's current bindings no matter which
+// layer performed the entry.
 type Manager struct {
 	mu      sync.Mutex
 	alloc   *pkalloc.Allocator
 	table   *vkey.Table
 	domains map[string]*Domain
-	// stacks tracks, per rights register, the nesting of entered domains
-	// (nil = the trusted compartment). Restore re-activates the frame
-	// below instead of reinstating a saved PKRU, so an eviction between
-	// enter and exit cannot resurrect rights for a rebound slot.
-	stacks map[mpk.RightsRegister][]*Domain
 }
 
 // NewManager reserves the trusted and shared pools in space and builds
@@ -78,7 +79,6 @@ func NewManager(space *vm.Space) (*Manager, error) {
 		alloc:   alloc,
 		table:   table,
 		domains: make(map[string]*Domain),
-		stacks:  make(map[mpk.RightsRegister][]*Domain),
 	}, nil
 }
 
@@ -128,6 +128,13 @@ func (m *Manager) AddDomain(name string) (*Domain, error) {
 // same hygiene pkalloc.QuarantineUntrusted applies to MU — then parked
 // for reuse by the next AddDomain. Tenant churn therefore consumes
 // neither protection keys nor address space.
+//
+// Removal is refused with vkey.ErrKeyBusy while any register's
+// compartment stack holds the domain: a thread executing inside it (or
+// due to return into it) would otherwise lose its pages mid-flight and
+// its later exit could not re-derive the compartment's rights. Callers
+// churning tenants under live traffic should treat the error as "try the
+// next victim", the way pkru-servo's churn loop does.
 func (m *Manager) RemoveDomain(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -136,7 +143,7 @@ func (m *Manager) RemoveDomain(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownDomain, name)
 	}
 	if err := m.table.Free(d.VKey); err != nil {
-		return err
+		return fmt.Errorf("domains: remove %q: %w", name, err)
 	}
 	if err := m.alloc.RemoveDomainPool(name); err != nil {
 		return err
@@ -192,85 +199,48 @@ func (m *Manager) Stats(d *Domain) (heap.Stats, bool) {
 	return m.alloc.DomainStats(d.Name)
 }
 
-// rightsFor activates the domain's logical key and returns the PKRU to
-// install: shared key 0 plus the domain's (possibly freshly bound)
-// hardware slot. A nil domain is the trusted compartment.
-func (m *Manager) rightsFor(d *Domain) (mpk.PKRU, error) {
-	if d == nil {
-		return mpk.PermitAll, nil
-	}
-	hw, _, err := m.table.Activate(d.VKey)
-	if err != nil {
-		return 0, err
-	}
-	return mpk.DenyAllExcept(0, hw), nil
-}
-
-// Enter switches the register into a domain through an audited gate:
-// the domain's logical key is activated (evicting the LRU domain if no
-// hardware slot is free), the rights are installed with the same
-// write-then-readback verification the ffi call gates perform, and the
-// register is bound to the table for eviction-time revocation. A nil
-// domain enters the trusted compartment, the reverse-gate case.
+// Enter switches the register into a domain through an audited gate: the
+// domain's logical key is activated (evicting the LRU domain if no
+// hardware slot is free) and the rights are installed with the same
+// write-then-readback verification the ffi call gates perform — both
+// under the vkey table's lock, so a concurrent eviction cannot rebind the
+// chosen slot between activation and installation. The register is bound
+// to the table for eviction-time revocation for as long as it holds any
+// compartment frame. A nil domain enters the trusted compartment, the
+// reverse-gate case.
 //
 // The returned restore re-enters the *caller's* compartment — activating
 // its logical key again rather than reinstating the saved PKRU bits — so
 // the rights installed on exit are always current, even if an eviction
-// rebound the caller's old slot while the callee ran.
+// rebound the caller's old slot while the callee ran. A restore whose
+// installation fails the audit leaves the entry stack intact, so it can
+// be retried without unwinding past the caller's own frame.
 func (m *Manager) Enter(reg mpk.RightsRegister, d *Domain) (restore func() error, err error) {
-	target, err := m.rightsFor(d)
-	if err != nil {
-		return nil, err
+	id := vkey.Trusted
+	if d != nil {
+		id = d.VKey
 	}
-	m.mu.Lock()
-	if _, bound := m.stacks[reg]; !bound {
-		m.table.Bind(reg)
-	}
-	m.stacks[reg] = append(m.stacks[reg], d)
-	m.mu.Unlock()
-	if err := mpk.InstallAudited(reg, target); err != nil {
-		m.pop(reg)
+	if _, err := m.table.Enter(reg, id); err != nil {
 		return nil, err
 	}
 	return func() error {
-		prev, ok := m.pop(reg)
-		if !ok {
+		_, err := m.table.Leave(reg, mpk.PermitAll)
+		if errors.Is(err, vkey.ErrNotEntered) {
 			return errors.New("domains: restore past the bottom of the entry stack")
 		}
-		target, err := m.rightsFor(prev)
-		if err != nil {
-			return err
-		}
-		return mpk.InstallAudited(reg, target)
+		return err
 	}, nil
-}
-
-// pop pops the register's entry stack and returns the new top
-// (the compartment restore must re-enter).
-func (m *Manager) pop(reg mpk.RightsRegister) (*Domain, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.stacks[reg]
-	if len(st) == 0 {
-		return nil, false
-	}
-	st = st[:len(st)-1]
-	if len(st) == 0 {
-		delete(m.stacks, reg)
-		m.table.Unbind(reg)
-		return nil, true
-	}
-	m.stacks[reg] = st
-	return st[len(st)-1], true
 }
 
 // BindLibrary wires a registered untrusted library to the domain through
 // the ffi runtime: calls into the library gate with the domain's
-// activated rights (cross-domain calls gate even U→U) and the library's
-// allocations land in the domain's private pool.
+// activated rights (cross-domain calls gate even U→U), gate exits
+// re-derive the caller's compartment through the shared vkey table, and
+// the library's allocations land in the domain's private pool.
 func (m *Manager) BindLibrary(rt *ffi.Runtime, lib string, d *Domain) {
 	rt.BindLibraryDomain(lib, ffi.DomainBinding{
-		Pool:   d.Name,
-		Rights: func() (mpk.PKRU, error) { return m.rightsFor(d) },
+		Pool:  d.Name,
+		Table: m.table,
+		Key:   d.VKey,
 	})
 }

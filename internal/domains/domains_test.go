@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/mpk"
+	"repro/internal/vkey"
 	"repro/internal/vm"
 )
 
@@ -345,6 +346,77 @@ func TestEnterAuditCatchesTamperedRegister(t *testing.T) {
 	reg.ignores = true
 	if err := restore(); !errors.Is(err, mpk.ErrRightsAudit) {
 		t.Fatalf("restore on tampered register = %v, want ErrRightsAudit", err)
+	}
+}
+
+// TestRemoveDomainRefusedWhileEntered: destroying a domain a thread is
+// currently inside (or due to return into) would strand that thread —
+// its pages vanish mid-execution and its restore could not re-derive the
+// compartment. Removal must be refused until every frame has left.
+func TestRemoveDomainRefusedWhileEntered(t *testing.T) {
+	m, th := newManager(t)
+	d, err := m.AddDomain("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := enter(t, m, th, d)
+	if err := m.RemoveDomain("busy"); !errors.Is(err, vkey.ErrKeyBusy) {
+		t.Fatalf("RemoveDomain while entered = %v, want ErrKeyBusy", err)
+	}
+	// The domain survived the refused removal intact.
+	if _, ok := m.Domain("busy"); !ok {
+		t.Fatal("refused removal still deleted the domain")
+	}
+	// Nested deeper: the domain is below the top frame, still busy.
+	restoreT := enter(t, m, th, nil)
+	if err := m.RemoveDomain("busy"); !errors.Is(err, vkey.ErrKeyBusy) {
+		t.Fatalf("RemoveDomain while on a lower frame = %v, want ErrKeyBusy", err)
+	}
+	restoreT()
+	restore()
+	if err := m.RemoveDomain("busy"); err != nil {
+		t.Fatalf("RemoveDomain after full exit: %v", err)
+	}
+}
+
+// TestRestoreRetriableAfterAuditFailure: a restore whose rights
+// installation fails the write-then-readback audit must leave the entry
+// stack intact, so a retry converges on the caller's compartment instead
+// of unwinding past the caller's own frame.
+func TestRestoreRetriableAfterAuditFailure(t *testing.T) {
+	m, _ := newManager(t)
+	a, err := m.AddDomain("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &tamperedRegister{}
+	restoreA, err := m.Enter(reg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := reg.Rights()
+	restoreT, err := m.Enter(reg, nil) // reverse gate into T
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.ignores = true
+	if err := restoreT(); !errors.Is(err, mpk.ErrRightsAudit) {
+		t.Fatalf("tampered restore = %v, want ErrRightsAudit", err)
+	}
+	reg.ignores = false
+	// The failed restore did not pop the frame: the retry lands back in
+	// domain a, not past it in the initial compartment.
+	if err := restoreT(); err != nil {
+		t.Fatalf("retried restore: %v", err)
+	}
+	if got := reg.Rights(); got != inA {
+		t.Fatalf("rights after retried restore = %v, want %v (domain a)", got, inA)
+	}
+	if err := restoreA(); err != nil {
+		t.Fatalf("final restore: %v", err)
+	}
+	if reg.Rights() != mpk.PermitAll {
+		t.Fatalf("rights after full unwind = %v, want PermitAll", reg.Rights())
 	}
 }
 

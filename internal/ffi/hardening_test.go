@@ -2,6 +2,7 @@ package ffi
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -237,17 +238,7 @@ func domainWorld(t *testing.T) (*Runtime, *vkey.Table, map[string]vkey.ID) {
 			t.Fatal(err)
 		}
 		ids[name] = id
-		idc := id
-		rt.BindLibraryDomain(name, DomainBinding{
-			Pool: name,
-			Rights: func() (mpk.PKRU, error) {
-				hw, _, err := table.Activate(idc)
-				if err != nil {
-					return 0, err
-				}
-				return mpk.DenyAllExcept(0, hw), nil
-			},
-		})
+		rt.BindLibraryDomain(name, DomainBinding{Pool: name, Table: table, Key: id})
 	}
 	return rt, table, ids
 }
@@ -348,6 +339,139 @@ func TestCrossDomainCallsGateEvenUntrustedToUntrusted(t *testing.T) {
 	}
 	if backInA != inA {
 		t.Errorf("rights after inner call = %v, want %v restored", backInA, inA)
+	}
+}
+
+// churnSlots floods the table with throwaway logical keys until every
+// hardware slot has been rebound, evicting whatever was resident. Each
+// key gets a page-backed range so retag-on-evict is exercised. It returns
+// the buffer of the churn key that ended up bound to wantHW — the tenant
+// that inherited the victim's slot, the memory a stale PKRU would reach.
+func churnSlots(t *testing.T, rt *Runtime, table *vkey.Table, wantHW mpk.Key) vm.Addr {
+	t.Helper()
+	type churned struct {
+		id  vkey.ID
+		buf vm.Addr
+	}
+	var keys []churned
+	for i := 0; i <= table.Slots(); i++ {
+		id := table.Alloc(fmt.Sprintf("churn%d", i))
+		buf := vm.Addr(0x6100_0000_0000 + uint64(i)<<20)
+		if _, err := rt.Alloc.Space().Reserve(fmt.Sprintf("churn/%d", i), buf, uint64(vm.PageSize), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := table.Attach(id, buf, uint64(vm.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := table.Activate(id); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, churned{id, buf})
+	}
+	for _, c := range keys {
+		if hw, ok := table.HardwareKey(c.id); ok && hw == wantHW {
+			return c.buf
+		}
+	}
+	t.Fatalf("no churn key inherited slot %v", wantHW)
+	return 0
+}
+
+// TestDomainGateBindsThreadForRevocation: a thread that entered a domain
+// through an ffi call gate — not through domains.Enter — must still lose
+// its PKRU rights when its domain's slot is evicted and rebound. This is
+// the eviction-time revalidation half of the Garmr defense: without the
+// gate binding the register to the vkey table, the thread would keep
+// reaching the new tenant's memory through the rebound slot.
+func TestDomainGateBindsThreadForRevocation(t *testing.T) {
+	rt, table, ids := domainWorld(t)
+	reg := rt.Registry
+	var ownBuf vm.Addr
+	reg.MustLibrary("tenantA", Untrusted).Define("evicted_inside", func(th *Thread, _ []uint64) ([]uint64, error) {
+		addr, err := th.Malloc(32)
+		if err != nil {
+			return nil, err
+		}
+		ownBuf = addr
+		hwA, ok := table.HardwareKey(ids["tenantA"])
+		if !ok {
+			t.Fatal("entered domain holds no slot")
+		}
+		inheritedBuf := churnSlots(t, rt, table, hwA)
+		if r := th.VM.Rights().Rights(hwA); r != mpk.DenyAll {
+			t.Errorf("gated thread still holds %v for rebound slot %v — gate did not bind for revocation", r, hwA)
+		}
+		if _, err := th.Load64(inheritedBuf); err == nil {
+			t.Error("gated thread read the tenant that inherited its evicted slot")
+		}
+		// Its own pool is gone too until re-entry — the pages are parked.
+		if _, err := th.Load64(ownBuf); err == nil {
+			t.Error("gated thread read its own pool through a revoked slot")
+		}
+		return nil, nil
+	})
+	th := rt.NewThread()
+	if _, err := th.Call("tenantA", "evicted_inside"); err != nil {
+		t.Fatal(err)
+	}
+	if st := table.Stats(); st.Invalidations == 0 {
+		t.Error("eviction revoked no bound-thread rights")
+	}
+	if th.VM.Rights() != mpk.PermitAll {
+		t.Errorf("rights after return = %v, want PermitAll", th.VM.Rights())
+	}
+}
+
+// TestDomainGateExitReactivatesAfterEviction is the stale-PKRU regression
+// for the gate's exit half: tenantA calls a trusted library; while the
+// trusted callback runs, slot churn evicts tenantA and hands its hardware
+// slot to another logical key. The reverse gate's exit must re-derive
+// tenantA's rights (re-activating its key onto a fresh slot) — replaying
+// the PKRU saved at gate entry would resurrect rights to the slot's new
+// tenant.
+func TestDomainGateExitReactivatesAfterEviction(t *testing.T) {
+	rt, table, ids := domainWorld(t)
+	reg := rt.Registry
+	var inheritedBuf vm.Addr
+	reg.MustLibrary("svc", Trusted).Define("churn", func(th *Thread, _ []uint64) ([]uint64, error) {
+		hwA, ok := table.HardwareKey(ids["tenantA"])
+		if !ok {
+			t.Fatal("tenantA holds no slot at callback time")
+		}
+		inheritedBuf = churnSlots(t, rt, table, hwA)
+		return nil, nil
+	})
+	reg.MustLibrary("tenantA", Untrusted).Define("roundtrip", func(th *Thread, _ []uint64) ([]uint64, error) {
+		own, err := th.Malloc(32)
+		if err != nil {
+			return nil, err
+		}
+		if err := th.Store64(own, 0xa); err != nil {
+			return nil, err
+		}
+		if _, err := th.Call("svc", "churn"); err != nil {
+			return nil, err
+		}
+		// Back in tenantA after the reverse gate's exit: the old slot now
+		// belongs to someone else and must be unreachable …
+		if _, err := th.Load64(inheritedBuf); err == nil {
+			t.Error("after callback, tenantA read the tenant that inherited its old slot (stale PKRU replayed)")
+		}
+		// … while tenantA's own pool is reachable again on a fresh slot.
+		if v, err := th.Load64(own); err != nil || v != 0xa {
+			t.Errorf("after callback, tenantA lost its own pool: %v, %v", v, err)
+		}
+		return nil, nil
+	})
+	th := rt.NewThread()
+	if _, err := th.Call("tenantA", "roundtrip"); err != nil {
+		t.Fatal(err)
+	}
+	if st := table.Stats(); st.Evictions == 0 {
+		t.Fatal("churn produced no evictions — the regression was not exercised")
+	}
+	if rt.Aborted() {
+		t.Error("runtime aborted during clean eviction churn")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/sig"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/vkey"
 	"repro/internal/vm"
 )
 
@@ -63,21 +64,28 @@ type Runtime struct {
 	domainMu sync.RWMutex
 	domains  map[string]DomainBinding // per-library compartment bindings
 	nDomains atomic.Int32             // len(domains), read lock-free on the call path
+	// vtable is the virtual-key table behind the domain bindings (one per
+	// runtime). Gate exits on a runtime with virtualized domains route
+	// through it so the caller's compartment is re-derived — re-activating
+	// its logical key — instead of replaying saved PKRU bits whose slot
+	// grants an eviction may have rebound to another tenant.
+	vtable atomic.Pointer[vkey.Table]
 }
 
 // DomainBinding ties an untrusted library to a virtualized compartment:
-// calls into the library gate through the Rights callback (which activates
-// the domain's logical key and returns the PKRU to install — possibly
-// evicting another domain's slot to do it), and the library's allocations
-// route to the named per-domain pool instead of the shared MU.
+// calls into the library gate through the vkey table — binding the
+// calling thread for eviction-time revocation and atomically activating
+// the domain's logical key and installing its rights — and the library's
+// allocations route to the named per-domain pool instead of the shared MU.
 type DomainBinding struct {
 	// Pool is the pkalloc domain pool the library allocates from; empty
 	// keeps the shared MU pool.
 	Pool string
-	// Rights returns the PKRU a gate installs when entering the library.
-	// It runs on every gated entry, so slot activation (and the eviction
-	// it may trigger) happens exactly at the compartment switch.
-	Rights func() (mpk.PKRU, error)
+	// Table is the virtual-key table multiplexing the domain; every bound
+	// library of one runtime must share a single table.
+	Table *vkey.Table
+	// Key is the domain's logical protection key in Table.
+	Key vkey.ID
 }
 
 // BindLibraryDomain attaches (or, with a zero binding, detaches) a
@@ -91,10 +99,13 @@ func (rt *Runtime) BindLibraryDomain(lib string, b DomainBinding) {
 	if rt.domains == nil {
 		rt.domains = make(map[string]DomainBinding)
 	}
-	if b.Pool == "" && b.Rights == nil {
+	if b.Pool == "" && b.Table == nil {
 		delete(rt.domains, lib)
 	} else {
 		rt.domains[lib] = b
+	}
+	if b.Table != nil {
+		rt.vtable.Store(b.Table)
 	}
 	rt.nDomains.Store(int32(len(rt.domains)))
 }
@@ -293,22 +304,20 @@ func (t *Thread) Call(lib, fn string, args ...uint64) ([]uint64, error) {
 	if t.rt.mode == GatesOn {
 		target := mpk.PermitAll
 		gated := l.Trust != t.CurrentTrust()
+		var dom *DomainBinding
 		if l.Trust == Untrusted {
 			target = t.rt.untrustedPKRU
-			if b, ok := t.rt.domainBinding(l.Name); ok && b.Rights != nil {
-				r, err := b.Rights()
-				if err != nil {
-					return nil, fmt.Errorf("ffi: activating domain for %s: %w", l.Name, err)
-				}
-				// Cross-domain calls gate even U→U: a different rights
-				// value means a different compartment, and entering it
-				// with the caller's PKRU would merge the two sandboxes.
-				target = r
-				gated = gated || t.VM.Rights() != target
+			if b, ok := t.rt.domainBinding(l.Name); ok && b.Table != nil {
+				// Cross-domain calls gate even U→U: a different current
+				// compartment means a different sandbox, and entering it
+				// with the caller's PKRU would merge the two. Only a call
+				// that stays within the library's own domain is plain.
+				dom = &b
+				gated = gated || b.Table.Current(t.VM) != b.Key
 			}
 		}
 		if gated {
-			return t.throughGate(l.Name, l.Trust, target, f, args)
+			return t.throughGate(l.Name, l.Trust, target, dom, f, args)
 		}
 	}
 	return t.plainCall(l.Name, l.Trust, f, args)
@@ -346,11 +355,22 @@ func (t *Thread) plainCall(libName string, trust Trust, f Func, args []uint64) (
 // throughGate performs one gated call: push current rights, install and
 // verify the target rights, run, restore. The exit half runs under a
 // defer, so the gate unwinds itself — popping its compartment-stack frame
-// and reinstating the saved PKRU — even when the callee panics. That is
+// and restoring the caller's rights — even when the callee panics. That is
 // the property the fault supervisor's recovery points build on: by the
 // time a panic (or an error return) reaches the trusted frame, every gate
 // it crossed has already restored the rights it saved.
-func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Func, args []uint64) ([]uint64, error) {
+//
+// A non-nil dom makes this a domain gate: entry binds t.VM to the vkey
+// table for eviction-time revocation and activates-and-installs the
+// domain's rights atomically with respect to eviction, and the exit half
+// re-derives the caller's compartment through vkey.Leave instead of
+// replaying the saved PKRU — whose slot grants an eviction may have
+// rebound to a different tenant while the callee ran (the Garmr
+// stale-PKRU hazard). Plain gates on a runtime with virtualized domains
+// re-derive through vkey.Refresh for the same reason; only a runtime with
+// no domain bindings replays saved bits, which are then always one of the
+// two static compartment values.
+func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, dom *DomainBinding, f Func, args []uint64) ([]uint64, error) {
 	var sp telemetry.Span
 	if tel := t.rt.tel; tel != nil {
 		if trust == Untrusted {
@@ -372,10 +392,26 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Fun
 		sink = nil
 	}
 	prev := t.VM.Rights()
+	var enterErr error
+	domEntered := false
+	if dom != nil {
+		if target, enterErr = dom.Table.Enter(t.VM, dom.Key); enterErr == nil {
+			domEntered = true
+		} else if !errors.Is(enterErr, mpk.ErrRightsAudit) {
+			// Activation failed before any rights were written — the key
+			// was freed, or no slot could be found. Fail closed without
+			// running the callee; nothing was installed, so there are no
+			// gate frames to unwind and the runtime stays alive.
+			sp.End()
+			return nil, fmt.Errorf("ffi: entering domain for %s: %w", libName, enterErr)
+		}
+	}
 	t.stack = append(t.stack, prev)
 	t.trust = append(t.trust, trust)
 	t.libs = append(t.libs, libName)
-	enterErr := mpk.InstallAudited(t.VM, target)
+	if dom == nil {
+		enterErr = mpk.InstallAudited(t.VM, target)
+	}
 	wrpkruDelay(t.rt.gateCost)
 	if t.rt.ring != nil {
 		t.rt.ring.Emit(trace.Event{Kind: trace.GateEnter, A: uint64(uint32(target))})
@@ -387,12 +423,22 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Fun
 		// The exit half is audited exactly like the entry: restoring the
 		// caller's rights without proving the write stuck is the Garmr
 		// gate-exit class — trusted code would resume on a poisoned PKRU.
-		if err := mpk.InstallAudited(t.VM, prev); err != nil {
+		restored := prev
+		var rerr error
+		switch {
+		case domEntered:
+			restored, rerr = dom.Table.Leave(t.VM, prev)
+		case t.rt.vtable.Load() != nil:
+			restored, rerr = t.rt.vtable.Load().Refresh(t.VM, prev)
+		default:
+			rerr = mpk.InstallAudited(t.VM, prev)
+		}
+		if rerr != nil {
 			t.rt.aborted.Store(true)
 		}
 		wrpkruDelay(t.rt.gateCost)
 		if t.rt.ring != nil {
-			t.rt.ring.Emit(trace.Event{Kind: trace.GateExit, A: uint64(uint32(prev))})
+			t.rt.ring.Emit(trace.Event{Kind: trace.GateExit, A: uint64(uint32(restored))})
 		}
 		sp.End()
 		if sink != nil {
@@ -417,6 +463,7 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, f Fun
 type Checkpoint struct {
 	gateDepth  int
 	trustDepth int
+	vDepth     int // vkey compartment-stack depth, when domains are bound
 	rights     mpk.PKRU
 }
 
@@ -426,7 +473,11 @@ func (cp Checkpoint) Rights() mpk.PKRU { return cp.rights }
 // Checkpoint records a recovery point at the current frame. Take it in
 // trusted code immediately before a supervised cross-compartment call.
 func (t *Thread) Checkpoint() Checkpoint {
-	return Checkpoint{gateDepth: len(t.stack), trustDepth: len(t.trust), rights: t.VM.Rights()}
+	cp := Checkpoint{gateDepth: len(t.stack), trustDepth: len(t.trust), rights: t.VM.Rights()}
+	if vt := t.rt.vtable.Load(); vt != nil {
+		cp.vDepth = vt.Depth(t.VM)
+	}
+	return cp
 }
 
 // Unwind forces the thread back to a checkpointed frame: any gate and
@@ -450,7 +501,17 @@ func (t *Thread) Unwind(cp Checkpoint) error {
 	if cp.trustDepth <= len(t.libs) {
 		t.libs = t.libs[:cp.trustDepth]
 	}
-	err := mpk.InstallAudited(t.VM, cp.rights)
+	var err error
+	if vt := t.rt.vtable.Load(); vt != nil {
+		// Discard domain frames pushed since the checkpoint, then restore
+		// the checkpointed compartment by re-derivation: any domain frame
+		// still live at checkpoint depth is re-activated rather than
+		// resurrected from the saved PKRU bits.
+		vt.TruncateTo(t.VM, cp.vDepth)
+		_, err = vt.Refresh(t.VM, cp.rights)
+	} else {
+		err = mpk.InstallAudited(t.VM, cp.rights)
+	}
 	wrpkruDelay(t.rt.gateCost)
 	if err != nil {
 		t.rt.aborted.Store(true)

@@ -53,6 +53,17 @@ var ErrUnknownKey = errors.New("vkey: unknown or freed logical key")
 // eviction disabled — cannot happen with a normal Config).
 var ErrNoSlots = errors.New("vkey: no hardware slot available")
 
+// ErrKeyBusy is returned by Free for a logical key that is live on some
+// register's compartment stack: a thread is currently executing inside
+// the key's compartment (or will return into it), and freeing the key
+// under it would strand that thread — its Leave could no longer re-derive
+// the compartment's rights.
+var ErrKeyBusy = errors.New("vkey: logical key is entered on a live compartment stack")
+
+// ErrNotEntered is returned by Leave on a register with an empty
+// compartment stack.
+var ErrNotEntered = errors.New("vkey: leave with no entered compartment")
+
 // Config parameterizes NewTable.
 type Config struct {
 	// Reserved lists hardware keys the table must never hand out: key 0
@@ -107,9 +118,16 @@ type Table struct {
 	slots    map[mpk.Key]*entry
 	entries  map[ID]*entry
 	threads  map[mpk.RightsRegister]struct{}
-	clock    uint64
-	nextID   ID
-	nslots   int
+	// stacks is the per-register compartment stack: the nesting of logical
+	// keys entered through Enter (0 = the trusted compartment). Leave
+	// re-derives the frame below instead of replaying saved PKRU bits, so
+	// an eviction while a callee ran can never resurrect rights for a
+	// rebound slot — the discipline domain entry and the ffi domain gates
+	// share.
+	stacks map[mpk.RightsRegister][]ID
+	clock  uint64
+	nextID ID
+	nslots int
 
 	activations   uint64
 	slotHits      uint64
@@ -153,6 +171,7 @@ func NewTable(space *vm.Space, cfg Config) (*Table, error) {
 		slots:    make(map[mpk.Key]*entry),
 		entries:  make(map[ID]*entry),
 		threads:  make(map[mpk.RightsRegister]struct{}),
+		stacks:   make(map[mpk.RightsRegister][]ID),
 		nextID:   1,
 	}
 	for k := mpk.Key(0); k < mpk.NumKeys; k++ {
@@ -188,13 +207,24 @@ func (t *Table) Alloc(name string) ID {
 // Free releases a logical key: its pages are parked on the inactive key,
 // its hardware slot (if any) returns to the free pool, and the ID becomes
 // invalid. The caller is responsible for scrubbing the pages first if they
-// held tenant data (pkalloc's quarantine semantics).
+// held tenant data (pkalloc's quarantine semantics). A key that is live on
+// any register's compartment stack is refused with ErrKeyBusy — freeing it
+// would leave a thread inside (or returning into) a compartment whose
+// rights can no longer be re-derived.
 func (t *Table) Free(id ID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e, ok := t.entries[id]
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownKey, id)
+	}
+	for reg, st := range t.stacks {
+		for _, fid := range st {
+			if fid == id {
+				return fmt.Errorf("%w: %v entered on %d-deep stack of register %p",
+					ErrKeyBusy, id, len(st), reg)
+			}
+		}
 	}
 	if e.active {
 		if err := t.unbindLocked(e); err != nil {
@@ -257,6 +287,10 @@ func (t *Table) Detach(id ID) error {
 func (t *Table) Activate(id ID) (mpk.Key, bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.activateLocked(id)
+}
+
+func (t *Table) activateLocked(id ID) (mpk.Key, bool, error) {
 	e, ok := t.entries[id]
 	if !ok {
 		return 0, false, fmt.Errorf("%w: %v", ErrUnknownKey, id)
@@ -299,6 +333,159 @@ func (t *Table) HardwareKey(id ID) (mpk.Key, bool) {
 		return 0, false
 	}
 	return e.hw, true
+}
+
+// Trusted is the frame value for the trusted compartment on a register's
+// compartment stack: Enter(reg, Trusted) installs full rights (the reverse
+// gate into T), and Leave out of a frame whose caller is Trusted restores
+// mpk.PermitAll.
+const Trusted ID = 0
+
+// rightsLocked derives the PKRU for a compartment-stack frame: full rights
+// for the trusted frame, otherwise the shared key 0 plus the logical key's
+// (freshly activated, possibly just rebound) hardware slot.
+func (t *Table) rightsLocked(id ID) (mpk.PKRU, error) {
+	if id == Trusted {
+		return mpk.PermitAll, nil
+	}
+	hw, _, err := t.activateLocked(id)
+	if err != nil {
+		return 0, err
+	}
+	return mpk.DenyAllExcept(0, hw), nil
+}
+
+// Enter switches reg into the logical key's compartment (Trusted for the
+// trusted compartment) and pushes the frame onto reg's compartment stack.
+// The whole transition is atomic with respect to eviction: the table lock
+// is held from slot activation through the audited rights installation, so
+// a concurrent Activate cannot evict the key and rebind its slot between
+// the two — the window a bare Activate-then-install leaves open. Entering
+// also binds reg for eviction-time revocation, so a later eviction of any
+// key the register still grants strips those rights immediately.
+//
+// The frame is pushed (and reg left bound, if this was its first frame)
+// only after the installation verifies; a failed audit leaves the stack
+// untouched.
+func (t *Table) Enter(reg mpk.RightsRegister, id ID) (mpk.PKRU, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rights, err := t.rightsLocked(id)
+	if err != nil {
+		return 0, err
+	}
+	_, wasBound := t.threads[reg]
+	t.threads[reg] = struct{}{}
+	if err := mpk.InstallAudited(reg, rights); err != nil {
+		if !wasBound {
+			delete(t.threads, reg)
+		}
+		return 0, err
+	}
+	t.stacks[reg] = append(t.stacks[reg], id)
+	return rights, nil
+}
+
+// Leave exits the top frame of reg's compartment stack: the rights of the
+// frame below are re-derived — re-activating its logical key, never
+// replaying a saved PKRU whose slot grants may have been rebound to a
+// different tenant while the callee ran (the Garmr stale-PKRU hazard).
+// When the top frame is the bottom of the stack, outside is installed
+// instead: the rights the register held before its first Enter, which the
+// caller saved (mpk.PermitAll, or the legacy two-compartment untrusted
+// value — static values no eviction can invalidate).
+//
+// The pop commits only after the installation verifies, so a failed audit
+// leaves the stack intact and Leave can be retried without unwinding past
+// the caller's own frame. When the stack empties the register is unbound
+// from eviction-time revocation, atomically with the installation.
+func (t *Table) Leave(reg mpk.RightsRegister, outside mpk.PKRU) (mpk.PKRU, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stacks[reg]
+	if len(st) == 0 {
+		return 0, ErrNotEntered
+	}
+	rights := outside
+	if len(st) >= 2 {
+		// The frame below cannot have been freed out from under us:
+		// Free refuses keys live on any compartment stack (ErrKeyBusy).
+		var err error
+		if rights, err = t.rightsLocked(st[len(st)-2]); err != nil {
+			return 0, err
+		}
+	}
+	if err := mpk.InstallAudited(reg, rights); err != nil {
+		return 0, err
+	}
+	if len(st) == 1 {
+		delete(t.stacks, reg)
+		delete(t.threads, reg)
+	} else {
+		t.stacks[reg] = st[:len(st)-1]
+	}
+	return rights, nil
+}
+
+// Refresh re-installs the rights of reg's current top frame, re-activating
+// its logical key, or installs fallback when reg has no frames. It is the
+// exit half of a gate that did not change the compartment stack (a plain
+// T/U gate taken while a domain frame is live): replaying the PKRU saved
+// at gate entry would resurrect slot grants an eviction may have rebound,
+// so the current compartment is derived fresh instead.
+func (t *Table) Refresh(reg mpk.RightsRegister, fallback mpk.PKRU) (mpk.PKRU, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rights := fallback
+	if st := t.stacks[reg]; len(st) > 0 {
+		var err error
+		if rights, err = t.rightsLocked(st[len(st)-1]); err != nil {
+			return 0, err
+		}
+	}
+	if err := mpk.InstallAudited(reg, rights); err != nil {
+		return 0, err
+	}
+	return rights, nil
+}
+
+// Current returns the logical key of reg's top compartment-stack frame,
+// or Trusted when the register has no frames (it never entered, or every
+// frame left).
+func (t *Table) Current(reg mpk.RightsRegister) ID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stacks[reg]
+	if len(st) == 0 {
+		return Trusted
+	}
+	return st[len(st)-1]
+}
+
+// Depth returns reg's compartment-stack depth.
+func (t *Table) Depth(reg mpk.RightsRegister) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stacks[reg])
+}
+
+// TruncateTo force-pops reg's compartment stack to depth without
+// installing any rights — the supervisor's unwind backstop, run before it
+// reinstalls a checkpointed PKRU. Deeper-than-current depths are a no-op.
+// Emptying the stack unbinds the register.
+func (t *Table) TruncateTo(reg mpk.RightsRegister, depth int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stacks[reg]
+	if depth < 0 || depth >= len(st) {
+		return
+	}
+	if depth == 0 {
+		delete(t.stacks, reg)
+		delete(t.threads, reg)
+		return
+	}
+	t.stacks[reg] = st[:depth]
 }
 
 // lruLocked picks the active entry with the oldest lastUse.
