@@ -1,4 +1,4 @@
-.PHONY: check test build fmt conform fuzz-smoke recover-demo profile-demo domains-demo
+.PHONY: check test build fmt conform fuzz-smoke recover-demo profile-demo domains-demo trace-demo
 
 check:
 	sh scripts/check.sh
@@ -61,6 +61,25 @@ profile-demo:
 	@echo "--- the store's own diff of the promotion ---"
 	-go run ./cmd/pkru-profile diff -store /tmp/pkru-profile-demo-store.json
 	@rm -f /tmp/pkru-profile-demo-store.json
+
+# trace-demo exercises the request-scoped tracing plane end to end
+# (docs/tracing.md): the multi-tenant workload with a compartment fault
+# injected into every 40th request under the retry policy, the adaptive
+# sampling controller live, and the retained traces + per-tenant latency
+# report exported and validated — tracecheck fails unless at least one
+# trace correlates gate entry, fault and recovery under one trace ID.
+trace-demo:
+	@echo "--- multi-tenant workload: injected faults under retry, traced ---"
+	go run ./cmd/pkru-servo -domains=24 -domain-workers 4 -domain-cycles 500 \
+		-recover retry -inject-fault 40 -adapt-target 2us \
+		-trace-json /tmp/pkru-trace-demo.json -latency-out /tmp/pkru-latency-demo.json
+	@echo "--- timeline + latency report validation ---"
+	go run ./scripts/tracecheck /tmp/pkru-trace-demo.json /tmp/pkru-latency-demo.json
+	@echo "--- single-run timeline from the toolchain CLI (heal arc) ---"
+	go run ./cmd/pkrusafe trace examples/pkir/quickstart.pkir -recover heal \
+		-o /tmp/pkru-quickstart-trace.json
+	go run ./scripts/tracecheck /tmp/pkru-quickstart-trace.json
+	@rm -f /tmp/pkru-trace-demo.json /tmp/pkru-latency-demo.json /tmp/pkru-quickstart-trace.json
 
 fuzz-smoke:
 	go test -fuzz '^FuzzDifferential$$' -fuzztime 10s ./internal/conformance

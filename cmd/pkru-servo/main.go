@@ -16,18 +16,32 @@
 //
 // -metrics / -metrics-json export the run's telemetry in Prometheus text
 // or JSON form ("-" = stdout); -listen serves the live observability
-// endpoints (/metrics, /snapshot.json, /trace, /healthz, /debug/pprof,
-// and — with -profile-store — /profile, /profile/diff, /profile/shadow)
-// while the workload runs. If the script dies on an MPK violation the
-// crash report is printed to stderr before exit 1.
+// endpoints (/metrics, /snapshot.json, /trace, /trace.json,
+// /domains.json, /healthz, /debug/pprof, and — with -profile-store —
+// /profile, /profile/diff, /profile/shadow) while the workload runs. If
+// the script dies on an MPK violation the crash report is printed to
+// stderr before exit 1.
 //
 // -domains N switches the binary into the multi-tenant domain workload
 // (docs/domains.md) instead of the browser: N logical domains — far more
-// than the 13 hardware key slots — are entered concurrently by worker
-// threads while tenants churn, exercising the virtual-key table's LRU
-// eviction, slot recycling and eviction-time PKRU revocation. The
-// pkrusafe_vkey_* gauges and counters are live on -listen's /metrics
-// while the workload runs.
+// than the 13 hardware key slots — are called into through ffi call
+// gates by worker threads while tenants churn, exercising the
+// virtual-key table's LRU eviction, slot recycling and eviction-time
+// PKRU revocation. Every request runs under a request-scoped trace
+// context (docs/tracing.md): gate enter/exit, faults, supervisor
+// recovery actions and slot evictions correlate under one trace ID with
+// the tenant's label. -inject-fault N makes every Nth request touch the
+// trusted heap from inside its domain — a pkey fault the -recover
+// policy then answers — so the retained traces show the full
+// fault→recovery arc. The pkrusafe_vkey_* and gate-latency families are
+// live on -listen's /metrics while the workload runs.
+//
+// -latency-out writes a schema-versioned per-tenant latency report
+// (p50/p95/p99 and throughput, the numbers behind BENCH_gatetrace.json);
+// -trace-json writes the retained traces as Chrome trace_event JSON
+// loadable in chrome://tracing or Perfetto; -adapt-target wires the
+// adaptive controller that retunes the crossing sampler's interval from
+// the live gate-latency p99.
 //
 // -profile-store closes the profiling loop (docs/profiling.md): the
 // active generation of a generational profile store supplies the applied
@@ -49,13 +63,16 @@ import (
 	"fmt"
 	"io"
 	"os"
-
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/browser"
 	"repro/internal/core"
 	"repro/internal/domains"
+	"repro/internal/ffi"
+	"repro/internal/gatetrace"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/profstore"
@@ -90,6 +107,10 @@ const demoScript = `
 // traceCap sizes the runtime event ring backing /trace and crash reports.
 const traceCap = 256
 
+// retainedCap sizes the gatetrace retained-trace ring: enough flagged
+// requests for a useful /trace.json timeline without unbounded memory.
+const retainedCap = 256
+
 func main() {
 	cfgName := flag.String("config", "mpk", "base|alloc|mpk|profiling")
 	htmlPath := flag.String("html", "", "HTML file to load (default: built-in demo)")
@@ -98,19 +119,40 @@ func main() {
 	profileOut := flag.String("profile-out", "", "profile JSON written by a profiling build")
 	metrics := flag.String("metrics", "", `write Prometheus metrics to this path ("-" = stdout)`)
 	metricsJSON := flag.String("metrics-json", "", `write a JSON metrics snapshot to this path ("-" = stdout)`)
-	listen := flag.String("listen", "", "serve /metrics, /snapshot.json, /trace, /healthz and /debug/pprof on this address while running")
+	listen := flag.String("listen", "", "serve /metrics, /snapshot.json, /trace, /trace.json, /domains.json, /healthz and /debug/pprof on this address while running")
 	recoverName := flag.String("recover", "abort", "compartment fault recovery policy: abort|retry|quarantine|heal")
 	requests := flag.Int("requests", 1, "execute the script this many times as independent requests")
 	profileStore := flag.String("profile-store", "", "generational profile store JSON (created if missing); supplies the applied profile and absorbs heal deltas")
 	shadowFrac := flag.Float64("shadow-frac", 0, "stage committed candidate generations on this fraction of replayed requests before promoting")
 	traceOut := flag.String("trace-out", "", `write the trace ring to this path at exit ("-" = stdout)`)
+	traceJSON := flag.String("trace-json", "", `write retained request traces as Chrome trace_event JSON to this path at exit ("-" = stdout)`)
+	latencyOut := flag.String("latency-out", "", `write a schema-versioned per-tenant latency/throughput report to this path ("-" = stdout)`)
+	tailThreshold := flag.Duration("trace-tail", 0, "additionally retain clean request traces at least this slow (0 = flagged traces only)")
+	injectFault := flag.Int("inject-fault", 0, "-domains only: inject a compartment fault into every Nth request (0 = never)")
+	adaptTarget := flag.Duration("adapt-target", 0, "retune the crossing sampler's interval from the live gate-latency p99 around this target (0 = off)")
+	sampleInterval := flag.Int("sample-interval", 8, "initial crossing-sampler interval for the -domains workload")
 	nDomains := flag.Int("domains", 0, "run the multi-tenant domain workload with this many logical domains instead of the browser")
 	domainWorkers := flag.Int("domain-workers", 4, "concurrent worker threads for the -domains workload")
 	domainCycles := flag.Int("domain-cycles", 2000, "domain entries per worker for the -domains workload")
 	flag.Parse()
 
 	if *nDomains > 0 {
-		runDomains(*nDomains, *domainWorkers, *domainCycles, *listen, *metrics, *metricsJSON)
+		runDomains(domainRunConfig{
+			n:              *nDomains,
+			workers:        *domainWorkers,
+			cycles:         *domainCycles,
+			listen:         *listen,
+			metrics:        *metrics,
+			metricsJSON:    *metricsJSON,
+			recoverName:    *recoverName,
+			latencyOut:     *latencyOut,
+			traceJSON:      *traceJSON,
+			traceOut:       *traceOut,
+			tailThreshold:  *tailThreshold,
+			injectEvery:    *injectFault,
+			adaptTarget:    *adaptTarget,
+			sampleInterval: *sampleInterval,
+		})
 		return
 	}
 
@@ -195,9 +237,20 @@ func main() {
 		Crossings:    store != nil,
 	}
 	var reg *telemetry.Registry
-	if *metrics != "" || *metricsJSON != "" || *listen != "" || store != nil {
+	if *metrics != "" || *metricsJSON != "" || *listen != "" || store != nil ||
+		*latencyOut != "" || *traceJSON != "" {
 		reg = telemetry.NewRegistry()
 		opts.Telemetry = reg
+	}
+	// The request tracer rides whenever some consumer of its output is
+	// configured. Browser requests all carry the same tenant label: the
+	// embedder is single-tenant, but the traces still correlate gate spans
+	// with supervisor recovery per request.
+	var tracer *gatetrace.Tracer
+	if *listen != "" || *latencyOut != "" || *traceJSON != "" {
+		tracer = gatetrace.New(gatetrace.Config{
+			Registry: reg, Capacity: retainedCap, TailThreshold: *tailThreshold})
+		opts.Tracing = tracer
 	}
 	var rollout *profstore.Rollout
 	if store != nil {
@@ -209,10 +262,12 @@ func main() {
 	b, err := browser.New(cfg, prof, opts)
 	exitOn(err)
 
+	ctlStop := startController(*adaptTarget, b.Prog.Crossings(), reg)
+
 	var srv *obs.Server
 	if *listen != "" {
 		srv, err = obs.ListenAndServe(*listen, obs.ServerConfig{
-			Registry: reg, Ring: opts.Trace, Profiles: store, Rollout: rollout})
+			Registry: reg, Ring: opts.Trace, Profiles: store, Rollout: rollout, Traces: tracer})
 		exitOn(err)
 		fmt.Fprintf(os.Stderr, "pkru-servo: observability server on %s\n", srv.URL())
 	}
@@ -230,13 +285,21 @@ func main() {
 	}
 	crashOn(b.LoadHTML(html))
 
-	// The request loop: each script execution is one supervised request. A
-	// request the supervisor could not save is dropped — logged with its
-	// typed compartment error — without taking the service down; any other
-	// error is a genuine crash.
+	// The request loop: each script execution is one supervised request
+	// under its own trace context. A request the supervisor could not save
+	// is dropped — logged with its typed compartment error — without
+	// taking the service down; any other error is a genuine crash.
+	lr := newLatencyRecorder()
 	served, dropped := 0, 0
+	loopStart := time.Now()
 	for i := 1; i <= *requests; i++ {
+		tc := tracer.Start("servo")
+		b.Prog.Main().SetTraceContext(tc)
+		reqStart := time.Now()
 		result, err := b.ExecScript(script)
+		reqLat := time.Since(reqStart)
+		b.Prog.Main().SetTraceContext(nil)
+		tc.Finish()
 		var cerr *supervise.CompartmentError
 		if errors.As(err, &cerr) {
 			dropped++
@@ -245,8 +308,11 @@ func main() {
 		}
 		crashOn(err)
 		served++
+		lr.record("servo", reqLat)
 		fmt.Printf("script result: %g\n", result)
 	}
+	elapsed := time.Since(loopStart)
+	stopController(ctlStop)
 	if dropped > 0 {
 		fmt.Fprintf(os.Stderr, "pkru-servo: crash averted: served %d/%d request(s), dropped %d under policy %s\n",
 			served, *requests, dropped, policy)
@@ -271,6 +337,15 @@ func main() {
 			writeTo(*metricsJSON, reg.Snapshot().WriteJSON)
 		}
 	}
+	if *latencyOut != "" {
+		writeLatencyReport(*latencyOut, latencyReport{
+			Schema: benchSchema, Experiment: "gatetrace", Mode: "browser",
+			Policy: policy.String(), Requests: served + dropped, Dropped: dropped,
+		}, lr, elapsed)
+	}
+	if *traceJSON != "" {
+		writeTo(*traceJSON, tracer.WriteChromeTrace)
+	}
 
 	if cfg == core.Profiling && *profileOut != "" {
 		p, err := b.Prog.RecordedProfile()
@@ -286,35 +361,89 @@ func main() {
 	closeServer(srv)
 }
 
+// domainRunConfig carries the flag subset the -domains workload consumes.
+type domainRunConfig struct {
+	n, workers, cycles int
+	listen             string
+	metrics            string
+	metricsJSON        string
+	recoverName        string
+	latencyOut         string
+	traceJSON          string
+	traceOut           string
+	tailThreshold      time.Duration
+	injectEvery        int
+	adaptTarget        time.Duration
+	sampleInterval     int
+}
+
 // runDomains drives the multi-tenant domain workload: n logical domains
-// multiplexed onto the hardware key slots, entered concurrently by
-// worker threads with their own rights registers while a churn loop
-// removes and re-adds tenants underneath them. Every entry goes through
-// the audited gate path; cross-tenant probes must deny; churn must
-// recycle both key slots and pool regions. The virtual-key telemetry is
-// live on -listen's /metrics for the duration.
-func runDomains(n, workers, cycles int, listen, metricsPath, metricsJSONPath string) {
-	if workers < 1 {
-		workers = 1
+// multiplexed onto the hardware key slots, each fronted by an untrusted
+// ffi library bound to the tenant's compartment, called concurrently by
+// worker threads while a churn loop removes and re-adds tenants
+// underneath them. Every request crosses a domain call gate — the
+// audited activate-and-install path — under a request-scoped trace
+// context, so gate latency, faults, recovery actions and the evictions a
+// request triggers all land on one per-tenant trace. Cross-tenant probes
+// must deny; churn must recycle both key slots and pool regions. The
+// virtual-key telemetry, the per-domain gate-latency histograms and
+// /trace.json + /domains.json are live on -listen for the duration.
+func runDomains(o domainRunConfig) {
+	if o.workers < 1 {
+		o.workers = 1
 	}
+	policy, err := supervise.ParsePolicy(o.recoverName)
+	exitOn(err)
 	space := vm.NewSpace()
 	m, err := domains.NewManager(space)
 	exitOn(err)
 
 	reg := telemetry.NewRegistry()
 	m.SetTelemetry(reg)
-	entries := reg.Counter("pkruservo_domain_entries_total", "Domain entries completed by the tenant workload.")
+	ring := trace.NewRing(traceCap)
+	tracer := gatetrace.New(gatetrace.Config{
+		Registry: reg, Capacity: retainedCap, TailThreshold: o.tailThreshold})
+	m.SetTracing(tracer)
+
+	entries := reg.Counter("pkruservo_domain_entries_total", "Domain requests completed by the tenant workload.")
 	reads := reg.Counter("pkruservo_domain_reads_total", "In-domain reads of the tenant's own pool that succeeded.")
 	denied := reg.Counter("pkruservo_domain_denied_total", "Cross-tenant probes correctly denied by the hardware keys.")
 	leaks := reg.Counter("pkruservo_domain_leaks_total", "Cross-tenant probes that wrongly succeeded (must stay 0).")
 	churned := reg.Counter("pkruservo_domain_churn_total", "Tenants removed and re-added while the workload ran.")
+	droppedReqs := reg.Counter("pkruservo_domain_dropped_total", "Requests the recovery policy could not save.")
+	refused := reg.Counter("pkruservo_domain_refused_total", "Requests refused at the gate because churn freed the tenant's key mid-flight.")
+
+	// The ffi runtime over the manager's allocator: tenant libraries are
+	// untrusted and domain-bound, so every call into one gates through the
+	// vkey table with the tenant's rights.
+	ffiReg := ffi.NewRegistry()
+	rt := ffi.NewRuntime(ffiReg, m.Allocator(), nil, ffi.GatesOn)
+	rt.SetTelemetry(reg)
+	rt.SetTrace(ring)
+	sampler := profstore.NewSampler(profstore.SamplerConfig{
+		Interval: o.sampleInterval, Telemetry: reg, Ring: ring})
+	rt.SetCrossingSink(sampler)
+	sup := supervise.New(supervise.Config{Policy: policy},
+		supervise.Deps{Alloc: m.Allocator(), Ring: ring, Telemetry: reg})
+
+	ctlStop := startController(o.adaptTarget, sampler, reg)
 
 	var srv *obs.Server
-	if listen != "" {
-		srv, err = obs.ListenAndServe(listen, obs.ServerConfig{Registry: reg})
+	if o.listen != "" {
+		srv, err = obs.ListenAndServe(o.listen, obs.ServerConfig{
+			Registry: reg, Ring: ring, Traces: tracer,
+			Domains: func() any { return m.Occupancy() }})
 		exitOn(err)
 		fmt.Fprintf(os.Stderr, "pkru-servo: observability server on %s\n", srv.URL())
 	}
+
+	// A trusted secret the fault injector touches from inside a domain:
+	// the pkey fault every Nth request deliberately takes, for the
+	// supervisor to answer and the trace to retain.
+	setup := vm.NewThread(space, nil) // trusted: PermitAll
+	secret, err := m.AllocTrusted(64)
+	exitOn(err)
+	exitOn(setup.Store64(secret, 0xfeed))
 
 	// Tenant table: each tenant's current buffer address, swapped atomically
 	// under its lock when churn recreates the pool. Workers racing a churn
@@ -325,8 +454,34 @@ func runDomains(n, workers, cycles int, listen, metricsPath, metricsJSONPath str
 		mu  sync.Mutex
 		buf vm.Addr
 	}
-	tenants := make([]*tenant, n)
-	setup := vm.NewThread(space, nil) // trusted: PermitAll
+	tenants := make([]*tenant, o.n)
+	// work is every tenant library's single entry point. It runs with the
+	// tenant's domain rights: its own pool readable, every other tenant's
+	// pool and the trusted heap denied. args: own buffer, probe address,
+	// secret address, inject flag.
+	work := func(t *ffi.Thread, args []uint64) ([]uint64, error) {
+		own, probe, secretAddr, inject := args[0], args[1], args[2], args[3]
+		v, err := t.Load64(vm.Addr(own))
+		if err == nil {
+			reads.Inc()
+		}
+		if probe != own {
+			if _, perr := t.Load64(vm.Addr(probe)); perr != nil {
+				denied.Inc()
+			} else {
+				leaks.Inc()
+			}
+		}
+		if inject != 0 {
+			// Deliberate compartment failure: trusted memory from inside
+			// the domain. The fault propagates out through the gate (which
+			// self-unwinds) to the supervisor's recovery point.
+			if _, ferr := t.Load64(vm.Addr(secretAddr)); ferr != nil {
+				return nil, ferr
+			}
+		}
+		return []uint64{v}, err
+	}
 	addTenant := func(i int) error {
 		d, err := m.AddDomain(name(i))
 		if err != nil {
@@ -339,6 +494,12 @@ func runDomains(n, workers, cycles int, listen, metricsPath, metricsJSONPath str
 		if err := setup.Store64(buf, uint64(i)); err != nil {
 			return err
 		}
+		lib, err := ffiReg.Library(name(i), ffi.Untrusted)
+		if err != nil {
+			return err
+		}
+		lib.Define("work", work)
+		m.BindLibrary(rt, name(i), d)
 		tenants[i].mu.Lock()
 		tenants[i].buf = buf
 		tenants[i].mu.Unlock()
@@ -349,40 +510,62 @@ func runDomains(n, workers, cycles int, listen, metricsPath, metricsJSONPath str
 		defer tenants[i].mu.Unlock()
 		return tenants[i].buf
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < o.n; i++ {
 		tenants[i] = &tenant{}
 		exitOn(addTenant(i))
 	}
 
+	lr := newLatencyRecorder()
+	var reqSeq atomic.Uint64
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < o.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			th := vm.NewThread(space, nil)
-			for c := 0; c < cycles; c++ {
-				i := (w + c) % n
-				d, ok := m.Domain(name(i))
-				if !ok {
+			th := rt.NewThread()
+			for c := 0; c < o.cycles; c++ {
+				i := (w + c) % o.n
+				if _, ok := m.Domain(name(i)); !ok {
 					continue // churned away between pick and lookup
 				}
-				restore, err := m.Enter(th, d)
-				if err != nil {
-					continue // churned away between lookup and enter
+				seq := reqSeq.Add(1)
+				inject := o.injectEvery > 0 && seq%uint64(o.injectEvery) == 0
+				// One request: its own trace context, attached to the
+				// thread for gate spans and bound to the rights register
+				// for eviction attribution.
+				tc := tracer.Start(name(i))
+				th.SetTraceContext(tc)
+				tracer.Bind(th.VM, tc)
+				reqStart := time.Now()
+				err := sup.Shield(th, name(i)+".work", func() error {
+					inj := uint64(0)
+					if inject {
+						inj, inject = 1, false // fault once; the retry succeeds
+					}
+					_, err := th.Call(name(i), "work",
+						uint64(bufOf(i)), uint64(bufOf((i+1)%o.n)), uint64(secret), inj)
+					return err
+				})
+				reqLat := time.Since(reqStart)
+				tracer.Unbind(th.VM)
+				th.SetTraceContext(nil)
+				tc.Finish()
+				var cerr *supervise.CompartmentError
+				var fault *vm.Fault
+				switch {
+				case err == nil:
+					entries.Inc()
+					lr.record(name(i), reqLat)
+				case errors.As(err, &cerr), errors.As(err, &fault):
+					// The policy gave the request up (or, under abort, the
+					// injected fault surfaced raw). Dropped, not fatal.
+					droppedReqs.Inc()
+				default:
+					// Churn freed the tenant's key between lookup and gate
+					// entry; the gate failed closed without running the body.
+					refused.Inc()
 				}
-				if _, err := th.Load64(bufOf(i)); err == nil {
-					reads.Inc()
-				}
-				if _, err := th.Load64(bufOf((i + 1) % n)); err != nil {
-					denied.Inc()
-				} else {
-					leaks.Inc()
-				}
-				if err := restore(); err != nil {
-					fmt.Fprintf(os.Stderr, "pkru-servo: domain restore: %v\n", err)
-				}
-				entries.Inc()
 			}
 		}(w)
 	}
@@ -399,7 +582,7 @@ churn:
 			break churn
 		case <-time.After(50 * time.Microsecond):
 		}
-		i := victim % n
+		i := victim % o.n
 		victim++
 		// Touch the victim first so it holds a hardware slot when removed:
 		// removal of an active tenant is the interesting case, exercising
@@ -420,26 +603,170 @@ churn:
 		churned.Inc()
 	}
 	elapsed := time.Since(start)
+	stopController(ctlStop)
 
 	st := m.Table().Stats()
+	ts := tracer.Stats()
 	if leaks.Value() > 0 {
 		fmt.Fprintf(os.Stderr, "pkru-servo: ISOLATION FAILURE: %d cross-tenant probe(s) succeeded\n", leaks.Value())
 	}
-	fmt.Printf("domains=%d slots=%d workers=%d entries=%d reads=%d denied-probes=%d leaks=%d churn=%d elapsed=%v\n",
-		n, st.Slots, workers, entries.Value(), reads.Value(), denied.Value(), leaks.Value(), churned.Value(), elapsed.Round(time.Millisecond))
+	fmt.Printf("domains=%d slots=%d workers=%d requests=%d reads=%d denied-probes=%d leaks=%d dropped=%d refused=%d churn=%d elapsed=%v\n",
+		o.n, st.Slots, o.workers, entries.Value(), reads.Value(), denied.Value(), leaks.Value(),
+		droppedReqs.Value(), refused.Value(), churned.Value(), elapsed.Round(time.Millisecond))
 	fmt.Printf("vkeys: logical=%d active=%d parked=%d activations=%d slot-misses=%d evictions=%d recycled=%d invalidations=%d\n",
 		st.Logical, st.Active, st.Parked, st.Activations, st.SlotMisses, st.Evictions, st.Recycled, st.Invalidations)
+	fmt.Printf("traces: started=%d finished=%d retained=%d dropped=%d sampler-interval=%d\n",
+		ts.Started, ts.Finished, ts.Retained, ts.Dropped, sampler.Interval())
 
-	if metricsPath != "" {
-		writeTo(metricsPath, reg.WritePrometheus)
+	if o.latencyOut != "" {
+		writeLatencyReport(o.latencyOut, latencyReport{
+			Schema: benchSchema, Experiment: "gatetrace", Mode: "domains",
+			Policy: policy.String(), Domains: o.n, Workers: o.workers,
+			Requests: int(entries.Value() + droppedReqs.Value()),
+			Dropped:  int(droppedReqs.Value()),
+		}, lr, elapsed)
 	}
-	if metricsJSONPath != "" {
-		writeTo(metricsJSONPath, reg.Snapshot().WriteJSON)
+	if o.traceJSON != "" {
+		writeTo(o.traceJSON, tracer.WriteChromeTrace)
+	}
+	if o.traceOut != "" {
+		writeTo(o.traceOut, func(w io.Writer) error { ring.Dump(w); return nil })
+	}
+	if o.metrics != "" {
+		writeTo(o.metrics, reg.WritePrometheus)
+	}
+	if o.metricsJSON != "" {
+		writeTo(o.metricsJSON, reg.Snapshot().WriteJSON)
 	}
 	closeServer(srv)
 	if leaks.Value() > 0 {
 		os.Exit(1)
 	}
+}
+
+// startController launches the adaptive sampling controller when a
+// target is set and a sampler exists, returning the stop channel (nil
+// when not started). The controller steers the crossing sampler's
+// interval around the live per-domain gate-latency p99.
+func startController(target time.Duration, sampler *profstore.Sampler, reg *telemetry.Registry) chan struct{} {
+	if target <= 0 || sampler == nil || reg == nil {
+		return nil
+	}
+	ctl := &gatetrace.Controller{Sampler: sampler, Registry: reg, Target: target}
+	stop := make(chan struct{})
+	go ctl.Run(stop, 100*time.Millisecond, func(r gatetrace.Retuning) {
+		fmt.Fprintf(os.Stderr, "pkru-servo: sampler retuned: interval %d -> %d (gate p99 %v over %d obs)\n",
+			r.Old, r.New, r.P99, r.Count)
+	})
+	return stop
+}
+
+func stopController(stop chan struct{}) {
+	if stop != nil {
+		close(stop)
+	}
+}
+
+// benchSchema versions the -latency-out report, like the other BENCH_*
+// seeds in the repo root.
+const benchSchema = 1
+
+// latencyRecorder accumulates per-tenant request latencies for the
+// -latency-out report. Exact samples rather than histogram buckets: the
+// report is written once at exit, so there is no reason to pay the log2
+// buckets' quantization in an offline artifact.
+type latencyRecorder struct {
+	mu       sync.Mutex
+	byTenant map[string][]time.Duration
+}
+
+func newLatencyRecorder() *latencyRecorder {
+	return &latencyRecorder{byTenant: make(map[string][]time.Duration)}
+}
+
+func (lr *latencyRecorder) record(tenant string, d time.Duration) {
+	lr.mu.Lock()
+	lr.byTenant[tenant] = append(lr.byTenant[tenant], d)
+	lr.mu.Unlock()
+}
+
+// tenantLatency is one tenant's row in the latency report.
+type tenantLatency struct {
+	Tenant        string  `json:"tenant"`
+	Requests      int     `json:"requests"`
+	P50Ns         int64   `json:"p50_ns"`
+	P95Ns         int64   `json:"p95_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// latencyReport is the -latency-out payload (see BENCH_gatetrace.json).
+type latencyReport struct {
+	Schema        int             `json:"schema"`
+	Experiment    string          `json:"experiment"`
+	Mode          string          `json:"mode"`
+	Policy        string          `json:"policy"`
+	Domains       int             `json:"domains,omitempty"`
+	Workers       int             `json:"workers,omitempty"`
+	Requests      int             `json:"requests"`
+	Dropped       int             `json:"dropped"`
+	ElapsedS      float64         `json:"elapsed_s"`
+	ThroughputRPS float64         `json:"throughput_rps"`
+	Tenants       []tenantLatency `json:"tenants"`
+}
+
+// quantile reads the q-quantile from an ascending-sorted sample set by
+// nearest-rank; exact for the sample, no interpolation.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// writeLatencyReport fills the per-tenant rows from the recorder and
+// writes the schema-versioned JSON.
+func writeLatencyReport(path string, rep latencyReport, lr *latencyRecorder, elapsed time.Duration) {
+	rep.ElapsedS = elapsed.Seconds()
+	if rep.ElapsedS > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / rep.ElapsedS
+	}
+	lr.mu.Lock()
+	tenants := make([]string, 0, len(lr.byTenant))
+	for t := range lr.byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	rep.Tenants = make([]tenantLatency, 0, len(tenants))
+	for _, t := range tenants {
+		samples := lr.byTenant[t]
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		row := tenantLatency{
+			Tenant:   t,
+			Requests: len(samples),
+			P50Ns:    quantile(samples, 0.50).Nanoseconds(),
+			P95Ns:    quantile(samples, 0.95).Nanoseconds(),
+			P99Ns:    quantile(samples, 0.99).Nanoseconds(),
+		}
+		if rep.ElapsedS > 0 {
+			row.ThroughputRPS = float64(len(samples)) / rep.ElapsedS
+		}
+		rep.Tenants = append(rep.Tenants, row)
+	}
+	lr.mu.Unlock()
+	writeTo(path, func(w io.Writer) error {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	})
+	fmt.Fprintf(os.Stderr, "pkru-servo: latency report (%d tenant(s)) written to %s\n", len(rep.Tenants), path)
 }
 
 // runProfilePlane closes the profiling loop after the serving phase: live

@@ -7,6 +7,7 @@
 //	pkrusafe run     prog.pkir [-profile p]    enforced (mpk) run
 //	pkrusafe exec    prog.pkir -config base    run under any configuration
 //	pkrusafe stats   prog.pkir [-profile p]    run and print a telemetry table
+//	pkrusafe trace   prog.pkir [-o t.json]     enforced run, write a Chrome trace timeline
 //	pkrusafe domains N [-json]                 N-tenant virtual-key drill + stats
 //
 // The instrumented IR printed by `build` shows the AllocIds, gate marks
@@ -18,7 +19,13 @@
 // its counters behind for debugging.
 //
 // -listen serves the live observability endpoints (/metrics,
-// /snapshot.json, /trace, /healthz, /debug/pprof) while the program runs.
+// /snapshot.json, /trace, /trace.json, /healthz, /debug/pprof) while the
+// program runs; run/exec/stats runs under -listen carry a request-scoped
+// trace context, so /trace.json serves the run's retained gate timeline.
+// The trace subcommand is the file-output form: it executes the program
+// under the mpk configuration with every trace retained and writes the
+// timeline as Chrome trace_event JSON (chrome://tracing, Perfetto); see
+// docs/tracing.md.
 // When an enforced run dies on an MPK violation, a forensic crash report
 // — decoded PKRU bits, the faulting page's protection key, the owning
 // allocation site and the trailing trace events — is printed to stderr,
@@ -40,6 +47,7 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/ffi"
+	"repro/internal/gatetrace"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -173,6 +181,20 @@ var commands = []command{
 			return fs
 		},
 		run: func(o *options, path string) { execute(o, path, parseConfig(o.cfgName), true) },
+	},
+	{
+		name:     "trace",
+		synopsis: "enforced run under full request tracing; write the Chrome trace_event timeline",
+		flags: func(o *options) *flag.FlagSet {
+			fs := newFlagSet("trace")
+			o.profileFlag(fs)
+			o.entryFlag(fs)
+			fs.StringVar(&o.outPath, "o", "", `timeline output path (default: <prog.pkir>.trace.json, "-" = stdout)`)
+			fs.StringVar(&o.recoverName, "recover", "abort",
+				"compartment fault recovery policy: abort|retry|quarantine|heal")
+			return fs
+		},
+		run: cmdTrace,
 	},
 	{
 		name:     "domains",
@@ -347,20 +369,31 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 		reg = telemetry.NewRegistry()
 		opts.Telemetry = reg
 	}
+	// A served run is a traced run: the whole execution becomes one
+	// retained request trace, so /trace.json has a timeline to offer.
+	var tracer *gatetrace.Tracer
+	if o.listen != "" {
+		tracer = gatetrace.New(gatetrace.Config{Registry: reg, RetainAll: true})
+		opts.Tracing = tracer
+	}
 
 	prog, err := core.NewProgram(ffi.NewRegistry(), cfg, applied, opts)
 	exitOn(err)
 
 	var srv *obs.Server
 	if o.listen != "" {
-		srv, err = obs.ListenAndServe(o.listen, obs.ServerConfig{Registry: reg, Ring: ring})
+		srv, err = obs.ListenAndServe(o.listen, obs.ServerConfig{Registry: reg, Ring: ring, Traces: tracer})
 		exitOn(err)
 		fmt.Fprintf(os.Stderr, "pkrusafe: observability server on %s\n", srv.URL())
 	}
 
 	m, err := interp.New(mod, prog, interp.Options{Output: os.Stdout})
 	exitOn(err)
+	tc := tracer.Start(o.entry)
+	prog.Main().SetTraceContext(tc)
 	res, runErr := m.Run(o.entry)
+	prog.Main().SetTraceContext(nil)
+	tc.Finish()
 
 	// Telemetry is exported before the crash branch below so a faulting
 	// run still leaves its counters behind (exit status stays 1).
@@ -386,6 +419,62 @@ func execute(o *options, path string, cfg core.BuildConfig, table bool) {
 	reportCrossings(os.Stderr, prog)
 	fmt.Fprintf(os.Stderr, "pkrusafe: %v run returned %v (%d transitions)\n", cfg, res, prog.Transitions())
 	closeServer(srv)
+}
+
+// cmdTrace executes the program under the mpk configuration with every
+// request trace retained and writes the run's gate timeline as Chrome
+// trace_event JSON. The run itself is a single traced request labelled
+// with the entry function; a crash still writes the timeline first (with
+// the fault marked on it), then exits 1 — the trace of a dying run is
+// exactly the artifact worth keeping.
+func cmdTrace(o *options, path string) {
+	mod := loadModule(path)
+	applied := loadProfile(o)
+	_, err := compile.Pipeline(mod, applied)
+	exitOn(err)
+	policy, err := supervise.ParsePolicy(o.recoverName)
+	exitOn(err)
+
+	reg := telemetry.NewRegistry()
+	tracer := gatetrace.New(gatetrace.Config{Registry: reg, RetainAll: true})
+	prog, err := core.NewProgram(ffi.NewRegistry(), core.MPK, applied, core.Options{
+		Telemetry:   reg,
+		Tracing:     tracer,
+		Trace:       trace.NewRing(defaultCrashRing),
+		Forensics:   true,
+		Crossings:   true,
+		Supervision: supervise.Config{Policy: policy},
+	})
+	exitOn(err)
+
+	m, err := interp.New(mod, prog, interp.Options{Output: os.Stdout})
+	exitOn(err)
+	tc := tracer.Start(o.entry)
+	prog.Main().SetTraceContext(tc)
+	res, runErr := m.Run(o.entry)
+	prog.Main().SetTraceContext(nil)
+	tc.Finish()
+
+	out := o.outPath
+	if out == "" {
+		out = path + ".trace.json"
+	}
+	writeTo(out, tracer.WriteChromeTrace)
+	ts := tracer.Stats()
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "pkrusafe: %d trace(s) (%d retained) written to %s\n",
+			ts.Finished, ts.Retained, out)
+	}
+	if runErr != nil {
+		reportRecovery(os.Stderr, prog.Supervisor(), false)
+		fmt.Fprintf(os.Stderr, "pkrusafe: program crashed: %v\n", runErr)
+		if rep, ok := prog.Forensics().Capture(runErr); ok {
+			exitOn(rep.WriteText(os.Stderr))
+		}
+		os.Exit(1)
+	}
+	reportRecovery(os.Stderr, prog.Supervisor(), true)
+	fmt.Fprintf(os.Stderr, "pkrusafe: mpk run returned %v (%d transitions)\n", res, prog.Transitions())
 }
 
 // cmdDomains runs the N-tenant virtual-key conformance drill and prints

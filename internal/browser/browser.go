@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ffi"
+	"repro/internal/gatetrace"
 	"repro/internal/jsengine"
 	"repro/internal/mpk"
 	"repro/internal/profile"
@@ -78,6 +79,11 @@ type Options struct {
 	Crossings bool
 	// CrossingInterval samples every Nth forward crossing; <= 1 keeps all.
 	CrossingInterval int
+	// Tracing, when non-nil, attaches the request-scoped gate tracer to
+	// the program: the embedder opens a gatetrace.Context per request and
+	// pins it to the main thread, and every gated engine call becomes a
+	// timed span on that request's trace (see core.Options.Tracing).
+	Tracing *gatetrace.Tracer
 }
 
 // New builds a browser under the given configuration. Alloc and MPK
@@ -99,6 +105,7 @@ func New(cfg core.BuildConfig, prof *profile.Profile, opts ...Options) (*Browser
 		Supervision:      opt.Supervision,
 		Crossings:        opt.Crossings,
 		CrossingInterval: opt.CrossingInterval,
+		Tracing:          opt.Tracing,
 	})
 	if err != nil {
 		return nil, err

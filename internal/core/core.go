@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/ffi"
+	"repro/internal/gatetrace"
 	"repro/internal/heap"
 	"repro/internal/obs"
 	"repro/internal/pkalloc"
@@ -115,6 +116,7 @@ type Program struct {
 	rec     *obs.Recorder         // fault forensics, nil unless Options.Forensics
 	sup     *supervise.Supervisor // nil unless Options.Supervision enables recovery
 	sampler *profstore.Sampler    // crossing sampler, nil unless Options.Crossings
+	gtrace  *gatetrace.Tracer     // request-scoped tracing, nil unless Options.Tracing
 	applied *profile.Profile      // profile consumed by Alloc/MPK builds
 
 	mu    sync.Mutex
@@ -181,6 +183,14 @@ type Options struct {
 	Crossings bool
 	// CrossingInterval samples every Nth forward crossing; <= 1 keeps all.
 	CrossingInterval int
+	// Tracing, when non-nil, attaches the request-scoped gate tracer:
+	// callers open a gatetrace.Context per request (Tracing.Start) and
+	// attach it to the serving thread (ffi.Thread.SetTraceContext); gate
+	// traversals, supervisor recovery actions and vkey evictions then land
+	// on that request's trace. The tracer's histograms register on
+	// whatever registry the tracer was built with — pass the same registry
+	// as Options.Telemetry to keep one export plane.
+	Tracing *gatetrace.Tracer
 }
 
 // NewProgram builds a program from annotated libraries under the given
@@ -279,6 +289,7 @@ func NewProgram(reg *ffi.Registry, cfg BuildConfig, prof *profile.Profile, opts 
 			Telemetry: opt.Telemetry,
 		})
 	}
+	p.gtrace = opt.Tracing
 	p.main = p.runtime.NewThread()
 	p.bindForensics(p.main)
 	return p, nil
@@ -392,6 +403,10 @@ func (p *Program) Supervisor() *supervise.Supervisor { return p.sup }
 // Crossings returns the boundary-crossing sampler, or nil when the build
 // was created without Options.Crossings. The nil sampler is safe to use.
 func (p *Program) Crossings() *profstore.Sampler { return p.sampler }
+
+// Tracing returns the request-scoped gate tracer, or nil when the build
+// was created without Options.Tracing. The nil tracer is safe to use.
+func (p *Program) Tracing() *gatetrace.Tracer { return p.gtrace }
 
 // RecordedProfile returns the profile collected by a Profiling build.
 func (p *Program) RecordedProfile() (*profile.Profile, error) {

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/ffi"
+	"repro/internal/gatetrace"
 	"repro/internal/heap"
 	"repro/internal/mpk"
 	"repro/internal/pkalloc"
@@ -62,6 +63,7 @@ type Manager struct {
 	alloc   *pkalloc.Allocator
 	table   *vkey.Table
 	domains map[string]*Domain
+	tracer  *gatetrace.Tracer
 }
 
 // NewManager reserves the trusted and shared pools in space and builds
@@ -96,6 +98,62 @@ func (m *Manager) TrustedKey() mpk.Key { return m.alloc.TrustedKey() }
 
 // SetTelemetry publishes the virtual-key gauges and counters into reg.
 func (m *Manager) SetTelemetry(reg *telemetry.Registry) { m.table.SetTelemetry(reg) }
+
+// SetTracing attaches the request-scoped tracer: domain Enter/Leave pairs
+// become timed spans on the entering register's bound context, and every
+// LRU eviction the table performs is attributed to the request whose
+// activation triggered it. A nil tracer detaches both.
+func (m *Manager) SetTracing(tr *gatetrace.Tracer) {
+	m.mu.Lock()
+	m.tracer = tr
+	m.mu.Unlock()
+	if tr == nil {
+		m.table.SetEvictionSink(nil)
+	} else {
+		m.table.SetEvictionSink(tr.ObserveEviction)
+	}
+}
+
+// Tracing returns the attached tracer, if any.
+func (m *Manager) Tracing() *gatetrace.Tracer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tracer
+}
+
+// DomainState is one domain's row in an Occupancy snapshot: the vkey
+// state of its logical key joined with its private pool's heap counters.
+type DomainState struct {
+	Name string        `json:"name"`
+	Key  vkey.KeyState `json:"key"`
+	Pool heap.Stats    `json:"pool"`
+}
+
+// Occupancy joins the vkey table's structured snapshot with the
+// per-domain pool stats — the payload the obs plane serves as
+// /domains.json.
+type Occupancy struct {
+	Table   vkey.Occupancy `json:"table"`
+	Domains []DomainState  `json:"domains"`
+}
+
+// Occupancy returns a structured snapshot of every domain's slot state,
+// eviction history and pool usage, plus the table-wide stack depths.
+func (m *Manager) Occupancy() Occupancy {
+	occ := Occupancy{Table: m.table.Occupancy()}
+	byID := make(map[vkey.ID]vkey.KeyState, len(occ.Table.Keys))
+	for _, ks := range occ.Table.Keys {
+		byID[ks.ID] = ks
+	}
+	for _, d := range m.Domains() {
+		ds := DomainState{Name: d.Name, Key: byID[d.VKey]}
+		if st, ok := m.alloc.DomainStats(d.Name); ok {
+			ds.Pool = st
+		}
+		occ.Domains = append(occ.Domains, ds)
+	}
+	return occ
+}
 
 // AddDomain creates a new untrusted domain with its own logical key and
 // pool. There is no domain-count ceiling: the pool region is recycled
@@ -217,16 +275,24 @@ func (m *Manager) Stats(d *Domain) (heap.Stats, bool) {
 // be retried without unwinding past the caller's own frame.
 func (m *Manager) Enter(reg mpk.RightsRegister, d *Domain) (restore func() error, err error) {
 	id := vkey.Trusted
+	name := "trusted"
 	if d != nil {
 		id = d.VKey
+		name = d.Name
 	}
 	if _, err := m.table.Enter(reg, id); err != nil {
 		return nil, err
 	}
+	// The enter→restore pair is a residency span on the entering request's
+	// trace: the window this register held the domain's compartment open.
+	endSpan := m.Tracing().ContextFor(reg).Span("domain:"+name, name)
 	return func() error {
 		_, err := m.table.Leave(reg, mpk.PermitAll)
 		if errors.Is(err, vkey.ErrNotEntered) {
 			return errors.New("domains: restore past the bottom of the entry stack")
+		}
+		if err == nil {
+			endSpan()
 		}
 		return err
 	}, nil

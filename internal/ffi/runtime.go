@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/gatetrace"
 	"repro/internal/mpk"
 	"repro/internal/pkalloc"
 	"repro/internal/sig"
@@ -263,7 +264,18 @@ type Thread struct {
 	stack []mpk.PKRU // saved rights, pushed by gates
 	trust []Trust    // logical compartment of the running code
 	libs  []string   // library whose code is running, parallel to trust
+	tc    *gatetrace.Context
 }
+
+// SetTraceContext attaches the request-scoped trace context the thread is
+// currently executing on behalf of (nil detaches). Every gate traversal
+// while the context is attached becomes a timed span on it, so the
+// request's trace correlates gate enter/exit with whatever the supervisor
+// and the vkey table record in between.
+func (t *Thread) SetTraceContext(c *gatetrace.Context) { t.tc = c }
+
+// TraceContext returns the attached trace context, if any.
+func (t *Thread) TraceContext() *gatetrace.Context { return t.tc }
 
 // Runtime returns the owning runtime.
 func (t *Thread) Runtime() *Runtime { return t.rt }
@@ -380,6 +392,15 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, dom *
 		}
 		sp = telemetry.StartSpan(tel.gateLat.With(libName), t.rt.ring, "gate:"+libName)
 	}
+	// The request-scoped trace span is attributed to the compartment
+	// *domain* — the tenant pool when one is bound, the target library
+	// otherwise — because that is the axis slot pressure and per-tenant
+	// latency blame live on.
+	domainLabel := libName
+	if dom != nil && dom.Pool != "" {
+		domainLabel = dom.Pool
+	}
+	endTraceSpan := t.tc.GateSpan(domainLabel)
 	// Forward crossings are the profiling plane's signal: what trusted data
 	// flowed into U and through which gate. The timestamp is taken before
 	// the enter WRPKRU so the reported latency matches the gate-latency
@@ -403,6 +424,8 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, dom *
 			// running the callee; nothing was installed, so there are no
 			// gate frames to unwind and the runtime stays alive.
 			sp.End()
+			endTraceSpan()
+			t.tc.Instant("gate-refused", domainLabel, enterErr.Error())
 			return nil, fmt.Errorf("ffi: entering domain for %s: %w", libName, enterErr)
 		}
 	}
@@ -441,6 +464,7 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, dom *
 			t.rt.ring.Emit(trace.Event{Kind: trace.GateExit, A: uint64(uint32(restored))})
 		}
 		sp.End()
+		endTraceSpan()
 		if sink != nil {
 			sink.ObserveCrossing(libName, args, time.Since(crossStart))
 		}

@@ -1,0 +1,100 @@
+package gatetrace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format, the JSON
+// dialect chrome://tracing and Perfetto load directly. Only the fields
+// this exporter emits are modeled: "X" complete events carry ts+dur, "i"
+// instant events carry ts and a scope, "M" metadata events name threads.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"` // microseconds
+	Dur   float64           `json:"dur,omitempty"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object form of the format (the variant
+// that allows metadata alongside the event array).
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	Stats           Stats         `json:"pkrusafeStats"`
+}
+
+// usec converts a duration to trace_event microseconds.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace exports the retained traces as Chrome trace_event
+// JSON. Each retained trace becomes one named "thread" (tid) under a
+// single process: a metadata row carries the trace ID and tenant, a
+// top-level "X" event spans the whole request, and every span inside it
+// renders as a nested "X" (or an "i" instant for faults, recoveries and
+// evictions). Timestamps are rebased to the earliest retained trace so
+// the timeline opens at zero.
+//
+// A tracer with nothing retained (or a nil tracer) writes a valid empty
+// trace — chrome://tracing accepts it, showing no rows.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	traces := t.Retained()
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}, Stats: t.Stats()}
+	var base time.Duration
+	for i, tr := range traces {
+		if i == 0 || tr.Offset < base {
+			base = tr.Offset
+		}
+	}
+	for i, tr := range traces {
+		tid := i + 1
+		start := tr.Offset - base
+		flags := ""
+		if tr.Faulted {
+			flags += " faulted"
+		}
+		if tr.Recovered {
+			flags += " recovered"
+		}
+		if tr.Evicted {
+			flags += " evicted"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": tr.ID + " tenant=" + tr.Tenant + flags},
+		})
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "request " + tr.ID, Cat: "request", Ph: "X",
+			Ts: usec(start), Dur: usec(tr.Total), Pid: 1, Tid: tid,
+			Args: map[string]string{"trace_id": tr.ID, "tenant": tr.Tenant},
+		})
+		for _, sp := range tr.Spans {
+			ev := chromeEvent{
+				Name: sp.Name, Cat: "gate", Ph: "X",
+				Ts: usec(start + sp.Start), Dur: usec(sp.Dur), Pid: 1, Tid: tid,
+			}
+			if sp.Domain != "" || sp.Detail != "" {
+				ev.Args = map[string]string{}
+				if sp.Domain != "" {
+					ev.Args["domain"] = sp.Domain
+				}
+				if sp.Detail != "" {
+					ev.Args["detail"] = sp.Detail
+				}
+			}
+			if sp.Instant {
+				ev.Ph, ev.Dur, ev.Scope, ev.Cat = "i", 0, "t", "event"
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

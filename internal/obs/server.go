@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/gatetrace"
 	"repro/internal/profstore"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -35,6 +36,17 @@ type ServerConfig struct {
 	Profiles *profstore.Store
 	// Rollout backs /profile/shadow (staged-rollout arm accounting).
 	Rollout *profstore.Rollout
+	// Traces backs /trace.json (retained request traces in Chrome
+	// trace_event format, loadable in chrome://tracing or Perfetto).
+	// Like the profile endpoints, it 404s when nil: a process without a
+	// request tracer has no timeline to serve.
+	Traces *gatetrace.Tracer
+	// Domains backs /domains.json: a callback returning the current
+	// domain/vkey occupancy snapshot (per-domain slot state, compartment
+	// stack depths, eviction counts). A callback rather than a concrete
+	// type keeps obs decoupled from the domains package; pass
+	// Manager.Occupancy wrapped as func() any. 404 when nil.
+	Domains func() any
 }
 
 // shutdownTimeout bounds how long Close waits for in-flight requests.
@@ -58,6 +70,8 @@ type Server struct {
 //	/metrics        Prometheus text exposition of the registry
 //	/snapshot.json  schema-versioned JSON snapshot of every metric
 //	/trace          recent trace-ring events, oldest first
+//	/trace.json     retained request traces, Chrome trace_event format (404 without a tracer)
+//	/domains.json   domain/vkey occupancy snapshot (404 without a domains callback)
 //	/profile        active profile generation (404 without a store)
 //	/profile/diff   generation diff + re-tighten proposals (404 without a store)
 //	/profile/shadow staged-rollout status (404 without a rollout)
@@ -145,6 +159,21 @@ func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
 			return
 		}
 		writeJSON(w, cfg.Rollout.Status())
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Traces == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Traces.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/domains.json", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Domains == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, cfg.Domains())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/gatetrace"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/profstore"
@@ -234,6 +235,99 @@ func TestServerProfileEndpointsAbsent(t *testing.T) {
 	for _, path := range []string{"/profile", "/profile/diff", "/profile/shadow"} {
 		if code, body, _ := get(t, srv.URL()+path); code != 404 {
 			t.Errorf("%s without a store = %d %q, want 404", path, code, body)
+		}
+	}
+}
+
+func TestServerTraceJSONEndpoint(t *testing.T) {
+	tr := gatetrace.New(gatetrace.Config{RetainAll: true})
+	c := tr.Start("tenant-a")
+	end := c.GateSpan("libu")
+	c.MarkFault("pkey fault at 0x2000")
+	end()
+	c.Finish()
+
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{Traces: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv.URL()+"/trace.json")
+	if code != 200 {
+		t.Fatalf("/trace.json = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/trace.json content-type = %q", ct)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace.json is not JSON: %v\n%s", err, body)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var sawGate, sawFault bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "gate:libu" && ev.Phase == "X" {
+			sawGate = true
+		}
+		if ev.Name == "fault" && ev.Phase == "i" {
+			sawFault = true
+		}
+	}
+	if !sawGate || !sawFault {
+		t.Errorf("trace events missing gate/fault rows: %s", body)
+	}
+}
+
+func TestServerDomainsJSONEndpoint(t *testing.T) {
+	type snap struct {
+		Slots     int      `json:"slots"`
+		Evictions uint64   `json:"evictions"`
+		Names     []string `json:"names"`
+	}
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{
+		Domains: func() any { return snap{Slots: 13, Evictions: 4, Names: []string{"a", "b"}} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv.URL()+"/domains.json")
+	if code != 200 {
+		t.Fatalf("/domains.json = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/domains.json content-type = %q", ct)
+	}
+	var got snap
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/domains.json is not JSON: %v\n%s", err, body)
+	}
+	if got.Slots != 13 || got.Evictions != 4 || len(got.Names) != 2 {
+		t.Errorf("/domains.json = %+v", got)
+	}
+}
+
+// Like the profile endpoints, /trace.json and /domains.json 404 when
+// their backing config is absent.
+func TestServerTraceAndDomainsAbsent(t *testing.T) {
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/trace.json", "/domains.json"} {
+		if code, body, _ := get(t, srv.URL()+path); code != 404 {
+			t.Errorf("%s without backing = %d %q, want 404", path, code, body)
 		}
 	}
 }

@@ -43,8 +43,10 @@ type SiteObs struct {
 // faults, it watches what trusted data actually flows through the gates,
 // at a configurable sampling interval so the hot path stays cheap.
 type Sampler struct {
-	resolve  Resolver
-	interval uint64
+	resolve Resolver
+	// interval is atomic so the adaptive controller (gatetrace.Controller)
+	// can retune it while the gate path reads it lock-free.
+	interval atomic.Uint64
 	ring     *trace.Ring
 
 	seen    atomic.Uint64 // forward crossings observed
@@ -64,16 +66,12 @@ type Sampler struct {
 // NewSampler builds a crossing sampler. Attach it to a runtime with
 // ffi.Runtime.SetCrossingSink (core.Options.Crossings does both).
 func NewSampler(cfg SamplerConfig) *Sampler {
-	interval := uint64(1)
-	if cfg.Interval > 1 {
-		interval = uint64(cfg.Interval)
-	}
 	s := &Sampler{
-		resolve:  cfg.Resolve,
-		interval: interval,
-		ring:     cfg.Ring,
-		sites:    make(map[profile.AllocID]*SiteObs),
+		resolve: cfg.Resolve,
+		ring:    cfg.Ring,
+		sites:   make(map[profile.AllocID]*SiteObs),
 	}
+	s.SetInterval(cfg.Interval)
 	if reg := cfg.Telemetry; reg != nil {
 		s.mCrossings = reg.CounterVec("pkrusafe_profile_crossings_total",
 			"Sampled forward gate crossings attributed to an allocation site.", "site")
@@ -93,7 +91,7 @@ func NewSampler(cfg SamplerConfig) *Sampler {
 // gate traversal with the argument words the call carried into U.
 func (s *Sampler) ObserveCrossing(lib string, args []uint64, latency time.Duration) {
 	n := s.seen.Add(1)
-	if s.interval > 1 && n%s.interval != 0 {
+	if iv := s.interval.Load(); iv > 1 && n%iv != 0 {
 		return
 	}
 	s.sampled.Add(1)
@@ -151,6 +149,30 @@ func (s *Sampler) note(id profile.AllocID, size, addr uint64, latency time.Durat
 	o.Crossings++
 	o.Bytes += size
 	s.mu.Unlock()
+}
+
+// Interval returns the current sampling interval (sample every Nth
+// forward crossing; 1 samples all). Together with SetInterval this
+// implements gatetrace.SamplerControl, the knob the adaptive controller
+// turns.
+func (s *Sampler) Interval() int {
+	if s == nil {
+		return 1
+	}
+	return int(s.interval.Load())
+}
+
+// SetInterval replaces the sampling interval, clamping to >= 1. Safe to
+// call concurrently with ObserveCrossing: the gate path reads the value
+// atomically once per crossing.
+func (s *Sampler) SetInterval(n int) {
+	if s == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.interval.Store(uint64(n))
 }
 
 // Seen returns how many forward crossings passed the sampler.

@@ -159,6 +159,12 @@ func (s *Supervisor) Shield(t *ffi.Thread, label string, body func() error) erro
 		if !isCompartmentFailure(err) {
 			return err
 		}
+		// The request-scoped trace is the forensic record an operator will
+		// read: the fault and the recovery action that answered it land on
+		// the same trace the gate spans are already on, and a faulted
+		// trace is always retained.
+		tc := t.TraceContext()
+		tc.MarkFault(err.Error())
 		// Unwind to the recovery point: truncate anything left on the
 		// gate/trust stacks and re-verify PKRU before trusted code
 		// continues. Gates self-unwind on both error returns and panics,
@@ -167,10 +173,33 @@ func (s *Supervisor) Shield(t *ffi.Thread, label string, body func() error) erro
 		if uerr := t.Unwind(cp); uerr != nil {
 			return uerr
 		}
-		if done, terr := s.recoverOnce(label, err, attempt); done {
+		before := s.eventCount()
+		done, terr := s.recoverOnce(label, err, attempt)
+		if ev, ok := s.lastEventSince(before); ok {
+			tc.MarkRecovery(ev.Action, ev.Cause)
+		}
+		if done {
 			return terr
 		}
 	}
+}
+
+// eventCount returns the current length of the recovery log.
+func (s *Supervisor) eventCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// lastEventSince returns the newest recovery event if any were noted
+// after the log held n entries.
+func (s *Supervisor) lastEventSince(n int) (Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.events) <= n {
+		return Event{}, false
+	}
+	return s.events[len(s.events)-1], true
 }
 
 // isCompartmentFailure reports whether err is the kind of failure

@@ -31,15 +31,16 @@ type MetricSnapshot struct {
 }
 
 // SeriesSnapshot is one labeled instance. Value is set for counters and
-// gauges; Count/Sum/P50/P95/P99 for histograms.
+// gauges; Count/Sum/P50/P95/P99 (and any exemplars) for histograms.
 type SeriesSnapshot struct {
-	LabelValues []string `json:"label_values,omitempty"`
-	Value       float64  `json:"value,omitempty"`
-	Count       uint64   `json:"count,omitempty"`
-	Sum         uint64   `json:"sum,omitempty"`
-	P50         float64  `json:"p50,omitempty"`
-	P95         float64  `json:"p95,omitempty"`
-	P99         float64  `json:"p99,omitempty"`
+	LabelValues []string   `json:"label_values,omitempty"`
+	Value       float64    `json:"value,omitempty"`
+	Count       uint64     `json:"count,omitempty"`
+	Sum         uint64     `json:"sum,omitempty"`
+	P50         float64    `json:"p50,omitempty"`
+	P95         float64    `json:"p95,omitempty"`
+	P99         float64    `json:"p99,omitempty"`
+	Exemplars   []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot captures every family. A nil registry yields an empty (but
@@ -70,6 +71,7 @@ func (r *Registry) Snapshot() *Snapshot {
 				ss.P50 = quantileFromBuckets(buckets[:], count, 0.50)
 				ss.P95 = quantileFromBuckets(buckets[:], count, 0.95)
 				ss.P99 = quantileFromBuckets(buckets[:], count, 0.99)
+				ss.Exemplars = s.hist.Exemplars()
 			}
 			m.Series = append(m.Series, ss)
 		}
@@ -165,7 +167,15 @@ func writePromHistogram(w io.Writer, f *family, s *series) error {
 	for i := 0; i <= top; i++ {
 		cum += buckets[i]
 		le := fmt.Sprintf("%d", bucketUpper(i))
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, s.values, le), cum); err != nil {
+		// OpenMetrics-style exemplar suffix. The value precedes the "#", so
+		// plain 0.0.4 parsers (including this repo's promparse test parser,
+		// which takes the first field after the metric name) still read the
+		// bucket count unchanged.
+		var ex string
+		if e := s.hist.exemplars[i].Load(); e != nil {
+			ex = fmt.Sprintf(` # {trace_id="%s"} %d`, escapeLabel(e.TraceID), e.Value)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, labelPairs(f.labels, s.values, le), cum, ex); err != nil {
 			return err
 		}
 	}

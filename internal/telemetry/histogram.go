@@ -17,9 +17,21 @@ const numBuckets = 65
 //
 // The nil histogram is a no-op.
 type Histogram struct {
-	count   atomic.Uint64
-	sum     atomic.Uint64
-	buckets [numBuckets]atomic.Uint64
+	count     atomic.Uint64
+	sum       atomic.Uint64
+	buckets   [numBuckets]atomic.Uint64
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties a concrete observation to an identifier — in this runtime
+// a gatetrace trace ID — so a tail bucket in /metrics can be chased back
+// to the retained request trace that produced it. Stored per bucket,
+// last-writer-wins: the freshest example of "what landed here" is the one
+// worth chasing.
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	Value   uint64 `json:"value"`
+	Bucket  int    `json:"-"` // index; set on snapshot reads
 }
 
 // bucketIndex maps a value to its bucket.
@@ -52,6 +64,42 @@ func (h *Histogram) Observe(v uint64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveEx records one value and, when traceID is non-empty, publishes it
+// as the bucket's exemplar. The exemplar write is a single atomic pointer
+// store, so ObserveEx stays lock-free and safe under concurrent callers;
+// racing writers simply overwrite each other, which is the semantics we
+// want (keep a recent example, not all of them).
+func (h *Histogram) ObserveEx(v uint64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := bucketIndex(v)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[i].Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// Exemplars returns the current exemplars, lowest bucket first, with
+// Bucket set to the owning bucket index. Loosely consistent under
+// concurrent ObserveEx, like snapshot.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			ex := *e
+			ex.Bucket = i
+			out = append(out, ex)
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations.

@@ -77,41 +77,46 @@ func (k Kind) String() string {
 
 // Event is one runtime occurrence. A and B are kind-specific payloads
 // (addresses, PKRU values, keys); Note carries an identifier when one
-// exists.
+// exists. When is a monotonic timestamp — the offset from the owning
+// ring's creation, stamped by Ring.Emit — so dumped events order and
+// space themselves on a timeline even after the ring wraps.
 type Event struct {
 	Seq  uint64
+	When time.Duration // monotonic offset from the ring's epoch
 	Kind Kind
 	A, B uint64
 	Note string
 }
 
 func (e Event) String() string {
+	prefix := fmt.Sprintf("#%d +%-12s %-10s", e.Seq, e.When, e.Kind)
 	switch e.Kind {
 	case GateEnter, GateExit:
-		return fmt.Sprintf("#%d %-10s pkru=%#08x", e.Seq, e.Kind, e.A)
+		return fmt.Sprintf("%s pkru=%#08x", prefix, e.A)
 	case Fault:
-		return fmt.Sprintf("#%d %-10s addr=%#x pkey=%d", e.Seq, e.Kind, e.A, e.B)
+		return fmt.Sprintf("%s addr=%#x pkey=%d", prefix, e.A, e.B)
 	case Record, Heal:
-		return fmt.Sprintf("#%d %-10s base=%#x site=%s", e.Seq, e.Kind, e.A, e.Note)
+		return fmt.Sprintf("%s base=%#x site=%s", prefix, e.A, e.Note)
 	case Recover:
-		return fmt.Sprintf("#%d %-10s pkru=%#08x outcome=%s", e.Seq, e.Kind, e.A, e.Note)
+		return fmt.Sprintf("%s pkru=%#08x outcome=%s", prefix, e.A, e.Note)
 	case Crossing:
-		return fmt.Sprintf("#%d %-10s addr=%#x site=%s lat=%v", e.Seq, e.Kind, e.A, e.Note, time.Duration(e.B))
+		return fmt.Sprintf("%s addr=%#x site=%s lat=%v", prefix, e.A, e.Note, time.Duration(e.B))
 	case ProfileSwap:
-		return fmt.Sprintf("#%d %-10s generation=%d prev=%d source=%s", e.Seq, e.Kind, e.A, e.B, e.Note)
+		return fmt.Sprintf("%s generation=%d prev=%d source=%s", prefix, e.A, e.B, e.Note)
 	case Span:
-		return fmt.Sprintf("#%d %-10s %s took=%v", e.Seq, e.Kind, e.Note, time.Duration(e.A))
+		return fmt.Sprintf("%s %s took=%v", prefix, e.Note, time.Duration(e.A))
 	default:
-		return fmt.Sprintf("#%d %-10s addr=%#x", e.Seq, e.Kind, e.A)
+		return fmt.Sprintf("%s addr=%#x", prefix, e.A)
 	}
 }
 
 // Ring is a fixed-capacity, thread-safe event buffer that overwrites its
 // oldest entries. The zero value is unusable; construct with NewRing.
 type Ring struct {
-	mu   sync.Mutex
-	buf  []Event
-	next uint64 // total events ever emitted
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64    // total events ever emitted
+	epoch time.Time // monotonic reference When offsets are measured from
 }
 
 // NewRing creates a ring holding the last n events (n >= 1).
@@ -119,12 +124,18 @@ func NewRing(n int) *Ring {
 	if n < 1 {
 		n = 1
 	}
-	return &Ring{buf: make([]Event, n)}
+	return &Ring{buf: make([]Event, n), epoch: time.Now()}
 }
 
-// Emit appends an event, stamping its sequence number.
+// Emit appends an event, stamping its sequence number and its monotonic
+// When offset. A caller-provided When is overwritten: the ring is the
+// single clock, so every retained event is comparable.
 func (r *Ring) Emit(e Event) {
 	r.mu.Lock()
+	// The clock is read under the lock so When and Seq order identically:
+	// a dump is a timeline, and a timeline that disagrees with the
+	// sequence numbers would be worse than no timestamps at all.
+	e.When = time.Since(r.epoch)
 	e.Seq = r.next
 	r.buf[r.next%uint64(len(r.buf))] = e
 	r.next++
@@ -191,13 +202,30 @@ func (r *Ring) SnapshotDropped() (events []Event, dropped uint64) {
 // wrapped, a leading line reports how many earlier events were dropped so
 // a truncated crash dump is never mistaken for the full history. The
 // events and the dropped count come from one atomic snapshot, so a dump
-// concurrent with Emit never shows a torn view.
+// concurrent with Emit never shows a torn view. Timestamps are rebased to
+// the first retained event (the first line always reads +0s): a dump is
+// read as "what happened, how far apart", and an absolute offset from a
+// ring epoch the reader cannot see would only obscure that.
 func (r *Ring) Dump(w io.Writer) {
 	events, dropped := r.SnapshotDropped()
+	WriteEvents(w, events, dropped, len(r.buf))
+}
+
+// WriteEvents renders events in Dump's text format: an optional leading
+// dropped-count line, then one line per event with When rebased to the
+// first event's timestamp. Exported so goldens can pin the format on
+// constructed events and so other dumps (the obs /trace endpoint, crash
+// reports) render identically to Ring.Dump.
+func WriteEvents(w io.Writer, events []Event, dropped uint64, capacity int) {
 	if dropped > 0 {
-		fmt.Fprintf(w, "... %d earlier event(s) dropped (ring capacity %d)\n", dropped, len(r.buf))
+		fmt.Fprintf(w, "... %d earlier event(s) dropped (ring capacity %d)\n", dropped, capacity)
+	}
+	var base time.Duration
+	if len(events) > 0 {
+		base = events[0].When
 	}
 	for _, e := range events {
+		e.When -= base
 		fmt.Fprintln(w, e.String())
 	}
 }

@@ -24,6 +24,7 @@ package vkey
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/mpk"
@@ -82,14 +83,23 @@ type span struct {
 
 // entry is one live logical key.
 type entry struct {
-	id      ID
-	name    string
-	hw      mpk.Key // valid only when active
-	active  bool    // bound to a hardware slot
-	faulted bool
-	ranges  []span
-	lastUse uint64 // LRU clock tick of the most recent Activate
+	id        ID
+	name      string
+	hw        mpk.Key // valid only when active
+	active    bool    // bound to a hardware slot
+	faulted   bool
+	ranges    []span
+	lastUse   uint64 // LRU clock tick of the most recent Activate
+	evictions uint64 // times this key was pushed off a slot by LRU
 }
+
+// EvictionSink receives one call per LRU eviction: the rights register
+// whose activation triggered it (nil when the eviction came from a
+// register-less Activate), the victim's name, and the hardware slot that
+// was rebound. A plain func type rather than an interface so the tracing
+// layer can satisfy it without importing vkey. Called with the table lock
+// held — implementations must not call back into the table.
+type EvictionSink func(trigger mpk.RightsRegister, victim string, slot mpk.Key)
 
 // Stats is a snapshot of the table's state and activity. The counters are
 // monotone; the gauges describe the instant of the snapshot.
@@ -142,7 +152,8 @@ type Table struct {
 	// conformance oracle must catch. Never set outside fault injection.
 	staleEvict bool
 
-	tel *tableTelemetry
+	tel  *tableTelemetry
+	sink EvictionSink
 }
 
 // NewTable builds a table over space. Every architecturally valid key that
@@ -287,10 +298,14 @@ func (t *Table) Detach(id ID) error {
 func (t *Table) Activate(id ID) (mpk.Key, bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.activateLocked(id)
+	return t.activateLocked(id, nil)
 }
 
-func (t *Table) activateLocked(id ID) (mpk.Key, bool, error) {
+// activateLocked binds id to a slot, evicting the LRU key when none is
+// free. trigger is the rights register whose transition demanded the
+// activation (nil for bare Activate calls); it is handed to the eviction
+// sink so an eviction can be attributed to the request that caused it.
+func (t *Table) activateLocked(id ID, trigger mpk.RightsRegister) (mpk.Key, bool, error) {
 	e, ok := t.entries[id]
 	if !ok {
 		return 0, false, fmt.Errorf("%w: %v", ErrUnknownKey, id)
@@ -309,8 +324,13 @@ func (t *Table) activateLocked(id ID) (mpk.Key, bool, error) {
 			return 0, false, ErrNoSlots
 		}
 		t.evictions++
+		victim.evictions++
+		vhw := victim.hw
 		if err := t.unbindLocked(victim); err != nil {
 			return 0, false, err
+		}
+		if t.sink != nil {
+			t.sink(trigger, victim.name, vhw)
 		}
 	}
 	hw := t.free[len(t.free)-1]
@@ -344,11 +364,11 @@ const Trusted ID = 0
 // rightsLocked derives the PKRU for a compartment-stack frame: full rights
 // for the trusted frame, otherwise the shared key 0 plus the logical key's
 // (freshly activated, possibly just rebound) hardware slot.
-func (t *Table) rightsLocked(id ID) (mpk.PKRU, error) {
+func (t *Table) rightsLocked(id ID, trigger mpk.RightsRegister) (mpk.PKRU, error) {
 	if id == Trusted {
 		return mpk.PermitAll, nil
 	}
-	hw, _, err := t.activateLocked(id)
+	hw, _, err := t.activateLocked(id, trigger)
 	if err != nil {
 		return 0, err
 	}
@@ -370,7 +390,7 @@ func (t *Table) rightsLocked(id ID) (mpk.PKRU, error) {
 func (t *Table) Enter(reg mpk.RightsRegister, id ID) (mpk.PKRU, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	rights, err := t.rightsLocked(id)
+	rights, err := t.rightsLocked(id, reg)
 	if err != nil {
 		return 0, err
 	}
@@ -411,7 +431,7 @@ func (t *Table) Leave(reg mpk.RightsRegister, outside mpk.PKRU) (mpk.PKRU, error
 		// The frame below cannot have been freed out from under us:
 		// Free refuses keys live on any compartment stack (ErrKeyBusy).
 		var err error
-		if rights, err = t.rightsLocked(st[len(st)-2]); err != nil {
+		if rights, err = t.rightsLocked(st[len(st)-2], reg); err != nil {
 			return 0, err
 		}
 	}
@@ -439,7 +459,7 @@ func (t *Table) Refresh(reg mpk.RightsRegister, fallback mpk.PKRU) (mpk.PKRU, er
 	rights := fallback
 	if st := t.stacks[reg]; len(st) > 0 {
 		var err error
-		if rights, err = t.rightsLocked(st[len(st)-1]); err != nil {
+		if rights, err = t.rightsLocked(st[len(st)-1], reg); err != nil {
 			return 0, err
 		}
 	}
@@ -579,6 +599,76 @@ func (t *Table) MarkFaulted(id ID) error {
 		t.publish()
 	}
 	return nil
+}
+
+// SetEvictionSink attaches an eviction observer (nil detaches). The sink
+// fires once per LRU eviction with the triggering register, the victim's
+// name and the rebound slot.
+func (t *Table) SetEvictionSink(s EvictionSink) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = s
+}
+
+// KeyState is one live logical key in an Occupancy snapshot.
+type KeyState struct {
+	ID        ID      `json:"id"`
+	Name      string  `json:"name"`
+	Active    bool    `json:"active"`
+	Slot      mpk.Key `json:"slot"` // valid when Active
+	Faulted   bool    `json:"faulted,omitempty"`
+	Evictions uint64  `json:"evictions"`
+	StackRefs int     `json:"stack_refs"` // live compartment-stack frames holding this key
+}
+
+// Occupancy is a structured snapshot of the table: which logical keys
+// exist, where they are bound, how often each has been evicted, and how
+// deep the live compartment stacks run. This is what /domains.json serves
+// — the flat pkrusafe_vkey_* counters say *that* slots churn; this says
+// *which tenants* are churning and who is standing on the stacks.
+type Occupancy struct {
+	Slots       int        `json:"slots"`
+	FreeSlots   int        `json:"free_slots"`
+	InactiveKey mpk.Key    `json:"inactive_key"`
+	Keys        []KeyState `json:"keys"`
+	// StackDepths lists the compartment-stack depth of every register
+	// currently entered, deepest first (registers are not identified:
+	// a depth profile is what slot-pressure debugging needs).
+	StackDepths []int `json:"stack_depths,omitempty"`
+	Stats       Stats `json:"stats"`
+}
+
+// Occupancy returns a structured snapshot of the table's state.
+func (t *Table) Occupancy() Occupancy {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	refs := make(map[ID]int)
+	occ := Occupancy{
+		Slots:       t.nslots,
+		FreeSlots:   len(t.free),
+		InactiveKey: t.inactive,
+		Stats:       t.statsLocked(),
+	}
+	for _, st := range t.stacks {
+		occ.StackDepths = append(occ.StackDepths, len(st))
+		for _, id := range st {
+			refs[id]++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(occ.StackDepths)))
+	for _, e := range t.entries {
+		occ.Keys = append(occ.Keys, KeyState{
+			ID:        e.id,
+			Name:      e.name,
+			Active:    e.active,
+			Slot:      e.hw,
+			Faulted:   e.faulted,
+			Evictions: e.evictions,
+			StackRefs: refs[e.id],
+		})
+	}
+	sort.Slice(occ.Keys, func(i, j int) bool { return occ.Keys[i].ID < occ.Keys[j].ID })
+	return occ
 }
 
 // InjectStaleEviction plants (or clears) the stale-slot-after-eviction
