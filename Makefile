@@ -1,4 +1,4 @@
-.PHONY: check test build fmt conform fuzz-smoke recover-demo profile-demo domains-demo trace-demo
+.PHONY: check test build fmt conform fuzz-smoke recover-demo profile-demo domains-demo trace-demo attack-demo
 
 check:
 	sh scripts/check.sh
@@ -17,6 +17,20 @@ conform:
 	go run ./cmd/pkru-conform -traces 64 -ops 512
 	go run ./cmd/pkru-conform -supervised
 	go run ./cmd/pkru-conform -vkeys
+	go run ./cmd/pkru-conform -attacks -q
+
+# attack-demo runs the Garmr attack corpus (docs/attacks.md): every
+# attack class drilled red (defense off — the breach must land) and
+# green (defense armed — the attack must die with the declared fault),
+# from both CLI entry points, plus the concurrent race drills hammering
+# the eviction/retag and migration-revalidation windows under -race.
+attack-demo:
+	@echo "--- attack corpus: red/green verdict matrix ---"
+	go run ./cmd/pkru-exploit -attacks
+	@echo "--- same corpus through the conformance CLI (CI entry point) ---"
+	go run ./cmd/pkru-conform -attacks -q
+	@echo "--- concurrent drills: retag and migration races under -race ---"
+	go test -race -run 'TestRace' ./internal/attack/
 
 # domains-demo exercises the N-domain layer end to end
 # (docs/domains.md): 64 logical domains multiplexed onto 13 hardware

@@ -3,6 +3,7 @@ package repro
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"os"
 	"os/exec"
@@ -148,6 +149,115 @@ secret at exit = 42 (INTACT — attack blocked)
 		if string(out) != golden {
 			t.Errorf("run %d output differs from golden:\n--- got ---\n%s--- want ---\n%s", run, out, golden)
 		}
+	}
+}
+
+// TestCLIAttackVerdictsGolden pins the Garmr attack corpus's verdict
+// transcript byte for byte: the roster order, every class/defense pair,
+// and the red/green drill outcomes are all deterministic, so any drift —
+// a defense that stops killing its attack with the expected fault, an
+// attack that loses its teeth with the defense off, a renamed class — is
+// a semantics change, not noise.
+func TestCLIAttackVerdictsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	const golden = `ATTACK class=rogue-wrpkru scenario=rogue-wrpkru defense=wrpkru-guard drill=red defense-mode=off breached=yes fault=none verdict=PASS
+ATTACK class=rogue-wrpkru scenario=rogue-wrpkru defense=wrpkru-guard drill=green defense-mode=on breached=no fault=pkuerr verdict=PASS
+ATTACK class=rogue-wrpkru scenario=exit-exfil defense=gate-exit-audit drill=red defense-mode=off breached=yes fault=none verdict=PASS
+ATTACK class=rogue-wrpkru scenario=exit-exfil defense=gate-exit-audit drill=green defense-mode=on breached=no fault=gate-tampered verdict=PASS
+ATTACK class=sigframe-tamper scenario=sigframe-tamper defense=sigframe-sanitizer drill=red defense-mode=off breached=yes fault=none verdict=PASS
+ATTACK class=sigframe-tamper scenario=sigframe-tamper defense=sigframe-sanitizer drill=green defense-mode=on breached=no fault=pkuerr verdict=PASS
+ATTACK class=stale-pkru scenario=migration-stale-pkru defense=migration-revalidation drill=red defense-mode=off breached=yes fault=none verdict=PASS
+ATTACK class=stale-pkru scenario=migration-stale-pkru defense=migration-revalidation drill=green defense-mode=on breached=no fault=pkuerr verdict=PASS
+ATTACK class=retag-race scenario=evict-retag-race defense=atomic-evict-retag drill=red defense-mode=off breached=yes fault=none verdict=PASS
+ATTACK class=retag-race scenario=evict-retag-race defense=atomic-evict-retag drill=green defense-mode=on breached=no fault=pkuerr verdict=PASS
+ATTACK class=retag-race scenario=slot-reuse defense=free-park-revoke drill=red defense-mode=off breached=yes fault=none verdict=PASS
+ATTACK class=retag-race scenario=slot-reuse defense=free-park-revoke drill=green defense-mode=on breached=no fault=pkuerr verdict=PASS
+ATTACK class=gate-bypass scenario=gate-exit-skip defense=gate-instrumentation drill=red defense-mode=off breached=yes fault=none verdict=PASS
+ATTACK class=gate-bypass scenario=gate-exit-skip defense=gate-instrumentation drill=green defense-mode=on breached=no fault=pkuerr verdict=PASS
+ATTACK class=confused-deputy scenario=confused-deputy defense=call-filter drill=red defense-mode=off breached=yes fault=none verdict=PASS
+ATTACK class=confused-deputy scenario=confused-deputy defense=call-filter drill=green defense-mode=on breached=no fault=call-filtered verdict=PASS
+`
+	exploit := buildTool(t, "pkru-exploit")
+	for run := 0; run < 2; run++ {
+		out, err := exec.Command(exploit, "-attacks").CombinedOutput()
+		if err != nil {
+			t.Fatalf("run %d: %v\n%s", run, err, out)
+		}
+		if string(out) != golden {
+			t.Errorf("run %d verdicts differ from golden:\n--- got ---\n%s--- want ---\n%s", run, out, golden)
+		}
+	}
+}
+
+// TestCLIAttackExitContract pins the -attacks exit-status contract: 0 when
+// every drill passes, 2 for an unknown class (with the known classes
+// listed), and a -class filter that selects exactly that class's drills.
+// (Exit 1 — any drill failing — is covered at the package level by the
+// attack harness's sabotage self-tests; it cannot be forced from the CLI
+// without breaking a defense.)
+func TestCLIAttackExitContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	exploit := buildTool(t, "pkru-exploit")
+
+	// All classes pass: exit 0.
+	if out, err := exec.Command(exploit, "-attacks").CombinedOutput(); err != nil {
+		t.Fatalf("-attacks should exit 0: %v\n%s", err, out)
+	}
+
+	// A class filter runs only that class's drills.
+	out, err := exec.Command(exploit, "-attacks", "-class", "retag-race").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-class retag-race: %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimRight(string(out), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("retag-race filter printed %d lines, want 4 (2 scenarios x red+green):\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "ATTACK class=retag-race ") {
+			t.Errorf("filtered line leaked another class: %q", l)
+		}
+	}
+
+	// Unknown class: exit 2, listing the known classes.
+	out, err = exec.Command(exploit, "-attacks", "-class", "nosuch").CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("unknown class: err=%v, want exit status 2\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "known classes:") || !strings.Contains(string(out), "gate-bypass") {
+		t.Errorf("unknown-class output should list the roster:\n%s", out)
+	}
+
+	// -class without -attacks is a usage error (exit 2).
+	out, err = exec.Command(exploit, "-class", "retag-race").CombinedOutput()
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("-class without -attacks: err=%v, want exit status 2\n%s", err, out)
+	}
+}
+
+// TestCLIConformAttacks runs the attack corpus through the shipped
+// conformance binary — the CI entry point that must exit non-zero when
+// any drill fails.
+func TestCLIConformAttacks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	conform := buildTool(t, "pkru-conform")
+	out, err := exec.Command(conform, "-attacks").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pkru-conform -attacks: %v\n%s", err, out)
+	}
+	text := string(out)
+	if got := strings.Count(text, "ATTACK class="); got != 16 {
+		t.Errorf("verdict lines = %d, want 16:\n%s", got, text)
+	}
+	if !strings.Contains(text, "every attack has teeth, every defense holds") {
+		t.Errorf("summary line missing:\n%s", text)
 	}
 }
 

@@ -7,6 +7,7 @@
 //	pkru-conform -fault all                          prove planted bugs are caught
 //	pkru-conform -supervised                         supervised-gate recovery drill
 //	pkru-conform -vkeys                              virtual-key multiplexing drill
+//	pkru-conform -attacks                            Garmr attack corpus: red/green drills
 //	pkru-conform -traces 64 -json -                  JSON telemetry summary
 //
 // On a divergence the shrunk counterexample is printed as a runnable Go
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/attack"
 	"repro/internal/conformance"
 	"repro/internal/telemetry"
 )
@@ -33,6 +35,7 @@ func main() {
 		fault  = flag.String("fault", "", "fault-injection mode: skip-gate-restore|swallow-segv|leak-trusted-alloc|stale-setpkey|all")
 		superv = flag.Bool("supervised", false, "run the supervised-gate drill: recovery must not change enforcement semantics")
 		vkeys  = flag.Bool("vkeys", false, "run the virtual-key drill: multiplexing must not change enforcement semantics")
+		atks   = flag.Bool("attacks", false, "run the Garmr attack corpus: every defense must hold its green drill and every attack its red drill")
 		vkeyN  = flag.Int("vkey-domains", 0, "domain count for the -vkeys drill (0 = slots+3)")
 		jsonTo = flag.String("json", "", "write the telemetry summary as JSON to this path (\"-\" = stdout)")
 		table  = flag.Bool("table", false, "print the telemetry summary as a table")
@@ -52,6 +55,8 @@ func main() {
 
 	ok := true
 	switch {
+	case *atks:
+		ok = runAttacks(*quiet)
 	case *vkeys:
 		ok = runVKeys(*vkeyN, *quiet)
 	case *superv:
@@ -199,6 +204,32 @@ func runVKeys(domains int, quiet bool) bool {
 	}
 	if !quiet {
 		fmt.Println("pkru-conform: virtual-key drill: multiplexing is semantically invisible; planted stale-slot-after-eviction caught")
+	}
+	return true
+}
+
+// runAttacks drills the Garmr attack corpus: one verdict line per
+// red/green drill, non-zero exit when any drill fails — red proves each
+// attack still works with its defense disabled (and that the harness
+// detects the breach), green proves the armed defense kills it with the
+// expected fault.
+func runAttacks(quiet bool) bool {
+	results := attack.RunAll()
+	fail := 0
+	for _, r := range results {
+		if !r.Pass {
+			fail++
+		}
+		if !quiet || !r.Pass {
+			fmt.Println(r.Verdict())
+		}
+	}
+	if fail > 0 {
+		fmt.Fprintf(os.Stderr, "pkru-conform: attack corpus: %d of %d drills failed\n", fail, len(results))
+		return false
+	}
+	if !quiet {
+		fmt.Printf("pkru-conform: attack corpus: %d scenarios x red+green drills: every attack has teeth, every defense holds\n", len(results)/2)
 	}
 	return true
 }

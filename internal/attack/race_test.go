@@ -1,0 +1,118 @@
+package attack
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mpk"
+)
+
+// The concurrency drills: the single-goroutine scenarios prove the retag
+// and migration defenses on a deterministic schedule; these two run the
+// same invariants against genuine concurrency so `go test -race` can
+// catch lock-ordering or torn-state regressions in the table itself.
+
+// TestRaceRetagVsAccess churns slot evictions on one goroutine while
+// another continuously enters compartments and reads. Invariant: a thread
+// inside tenant X's compartment never successfully reads tenant Y's page
+// — evictions must park, retag, and revoke atomically enough that no
+// interleaving leaves a foreign page readable. Faults are fine; foreign
+// data is not.
+func TestRaceRetagVsAccess(t *testing.T) {
+	const tenants = 20
+	w, err := newVKeyWorld(tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := w.table.Activate(w.ids[i%tenants]); err != nil {
+				t.Errorf("churn Activate: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 400; i++ {
+		self := i % tenants
+		other := (i + 1) % tenants
+		if _, err := w.table.Enter(w.th, w.ids[self]); err != nil {
+			t.Fatalf("Enter: %v", err)
+		}
+		if v, err := w.th.Load64(w.pages[other]); err == nil && v == tenantSecret(other) {
+			t.Fatalf("iteration %d: read tenant %d's page from tenant %d's compartment", i, other, self)
+		}
+		// The own-page read may fault (the compartment can be evicted
+		// mid-access and its rights revoked) but must never read anything
+		// other than the tenant's own value.
+		if v, err := w.th.Load64(w.pages[self]); err == nil && v != tenantSecret(self) {
+			t.Fatalf("iteration %d: own-page read returned %#x, want %#x", i, v, tenantSecret(self))
+		}
+		if _, err := w.table.Leave(w.th, mpk.PermitAll); err != nil {
+			t.Fatalf("Leave: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRaceMigrationRevalidate saves a context inside a compartment,
+// leaves, and restores it while another goroutine churns slot bindings.
+// With the revalidator bound, a restore onto an empty compartment stack
+// must strip every multiplexed slot grant — no interleaving of the churn
+// may leave the restored thread able to read any tenant page.
+func TestRaceMigrationRevalidate(t *testing.T) {
+	const tenants = 20
+	w, err := newVKeyWorld(tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.table.BindMigration(w.th)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := w.table.Activate(w.ids[i%tenants]); err != nil {
+				t.Errorf("churn Activate: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		id := w.ids[i%tenants]
+		if _, err := w.table.Enter(w.th, id); err != nil {
+			t.Fatalf("Enter: %v", err)
+		}
+		saved := w.th.SaveContext()
+		if _, err := w.table.Leave(w.th, mpk.PermitAll); err != nil {
+			t.Fatalf("Leave: %v", err)
+		}
+		if err := w.th.RestoreContext(saved); err != nil {
+			t.Fatalf("RestoreContext: %v", err)
+		}
+		for j := 0; j < tenants; j += 5 {
+			if v, err := w.th.Load64(w.pages[j]); err == nil {
+				t.Fatalf("iteration %d: post-migration read of tenant %d succeeded (%#x) despite revalidation", i, j, v)
+			}
+		}
+		// Re-derive full rights for the next iteration's trusted writes.
+		w.th.SetRights(mpk.PermitAll)
+	}
+	close(stop)
+	wg.Wait()
+}

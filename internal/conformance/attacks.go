@@ -1,0 +1,27 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+)
+
+// DrillAttacks runs the Garmr attack corpus as a conformance drill: every
+// attack scenario executes twice — the red drill (defense disabled; the
+// attack must succeed and the harness must detect the breach, proving the
+// scenario has teeth) and the green drill (defense armed; the attack must
+// die with the expected fault). Any failed drill is an error carrying its
+// verdict line, so CI output names the exact class/defense pair that
+// regressed.
+func DrillAttacks() error {
+	results := attack.RunAll()
+	if failed := attack.Failures(results); failed > 0 {
+		for _, r := range results {
+			if !r.Pass {
+				return fmt.Errorf("attack corpus: %d of %d drills failed; first: %s",
+					failed, len(results), r.Verdict())
+			}
+		}
+	}
+	return nil
+}

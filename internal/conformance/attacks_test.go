@@ -1,0 +1,24 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+)
+
+// TestDrillAttacks is the CI anchor for the attack corpus: every Garmr
+// scenario must pass both its red and green drill.
+func TestDrillAttacks(t *testing.T) {
+	if err := DrillAttacks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrillAttacksCoversRoster pins the drill to the full roster: a drill
+// that silently ran fewer scenarios would pass while covering nothing.
+func TestDrillAttacksCoversRoster(t *testing.T) {
+	want := 2 * len(attack.Scenarios())
+	if got := len(attack.RunAll()); got != want {
+		t.Fatalf("RunAll produced %d drills, want %d (red+green per scenario)", got, want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mpk"
 	"repro/internal/pkalloc"
 	"repro/internal/sig"
+	"repro/internal/vkey"
 	"repro/internal/vm"
 )
 
@@ -67,6 +68,11 @@ type Result struct {
 	Skipped     int                 // ops skipped (dead slot, empty gate stack)
 	Counts      map[OutcomeKind]int // real-side outcome histogram
 	Divergences []Divergence
+
+	// VKeyStats is the real vkey table's view after the replay: evidence
+	// that a trace actually multiplexed (evictions, recycled slots) rather
+	// than staying under the slot count.
+	VKeyStats vkey.Stats
 }
 
 // slot is one entry in the allocation slot table shared by both sides.
@@ -92,6 +98,15 @@ type runner struct {
 	gateStacks [NumThreads][]mpk.PKRU
 
 	slots [NumSlots]slot
+
+	// Virtual-key multiplexing under differential test: the real table,
+	// the per-tenant logical-key IDs (0 = dead), the model-side mirror
+	// predicting slot assignment, and the rights each thread held before
+	// its first Enter (what the bottom Leave restores).
+	vkeys       *vkey.Table
+	vkeyID      [NumVKeySlots]vkey.ID
+	vmir        *vkeyMirror
+	vkeyOutside [NumThreads]mpk.PKRU
 
 	// pending carries the access an OpGateCall performs inside the ffi
 	// library function. Traces run single-goroutine, so one cell suffices.
@@ -144,6 +159,27 @@ func Run(tr Trace, opts Options) *Result {
 	r.probeAddr(alloc.TrustedRegion().Base)
 	r.probeAddr(alloc.UntrustedRegion().Base)
 
+	// Virtual-key tenants: one page per tenant, reserved up front on the
+	// shared key and handed to a logical key by OpVKeyAlloc. The table gets
+	// only three multiplexable slots (see vkeyReservedKeys), so traces
+	// evict and recycle without needing fourteen tenants.
+	vt, err := vkey.NewTable(r.space, vkey.Config{Reserved: vkeyReservedKeys})
+	if err != nil {
+		panic("conformance: vkey setup: " + err.Error())
+	}
+	r.vkeys = vt
+	r.vmir = newVKeyMirror(r.model, vt.InactiveKey())
+	for vs := 0; vs < NumVKeySlots; vs++ {
+		name := fmt.Sprintf("vkey/t%d", vs)
+		if _, err := r.space.Reserve(name, vkeyPage(vs), vm.PageSize, 0); err != nil {
+			panic("conformance: vkey tenant reserve: " + err.Error())
+		}
+		if !r.model.Reserve(vkeyPage(vs), vm.PageSize, 0) {
+			panic("conformance: model rejects vkey tenant reservation")
+		}
+		r.probeAddr(vkeyPage(vs))
+	}
+
 	if opts.Inject == InjectSwallowSegv {
 		installSwallowingHandler(r.sigs)
 	}
@@ -152,6 +188,7 @@ func Run(tr Trace, opts Options) *Result {
 		r.step(i, op)
 	}
 	r.sweepKeyMap()
+	r.res.VKeyStats = r.vkeys.Stats()
 	return r.res
 }
 
@@ -338,6 +375,58 @@ func (r *runner) step(i int, op Op) {
 		err := r.alloc.Free(s.addr)
 		s.live = false
 		real, model = okOrRejected(err == nil), Outcome{Kind: Skipped}
+
+	case OpVKeyAlloc:
+		vs := int(op.Slot) % NumVKeySlots
+		if r.vkeyID[vs] != 0 {
+			r.skip()
+			return
+		}
+		id := r.vkeys.Alloc(fmt.Sprintf("vtenant%d", vs))
+		err := r.vkeys.Attach(id, vkeyPage(vs), vm.PageSize)
+		if err == nil {
+			r.vkeyID[vs] = id
+		}
+		real = okOrRejected(err == nil)
+		r.vmir.alloc(vs)
+		model = Outcome{Kind: OK}
+
+	case OpVKeyFree:
+		vs := int(op.Slot) % NumVKeySlots
+		if r.vkeyID[vs] == 0 {
+			r.skip()
+			return
+		}
+		err := r.vkeys.Free(r.vkeyID[vs])
+		if err == nil {
+			r.vkeyID[vs] = 0
+		}
+		real = okOrRejected(err == nil)
+		model = okOrRejected(r.vmir.release(vs))
+
+	case OpVKeyEnter:
+		vs := int(op.Slot) % NumVKeySlots
+		if r.vkeyID[vs] == 0 {
+			r.skip()
+			return
+		}
+		if len(r.vmir.stacks[tid]) == 0 {
+			r.vkeyOutside[tid] = th.VM.Rights()
+		}
+		_, err := r.vkeys.Enter(th.VM, r.vkeyID[vs])
+		real = okOrRejected(err == nil)
+		r.vmir.enter(tid, vs)
+		model = Outcome{Kind: OK}
+
+	case OpVKeyLeave:
+		if len(r.vmir.stacks[tid]) == 0 {
+			r.skip()
+			return
+		}
+		_, err := r.vkeys.Leave(th.VM, r.vkeyOutside[tid])
+		real = okOrRejected(err == nil)
+		r.vmir.leave(tid)
+		model = Outcome{Kind: OK}
 
 	default:
 		r.skip()

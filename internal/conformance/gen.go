@@ -41,6 +41,8 @@ type genState struct {
 	}
 	slotLive  [NumSlots]bool
 	gateDepth [NumThreads]int
+	vslotLive [NumVKeySlots]bool
+	vkeyDepth [NumThreads]int
 }
 
 func (g *genState) next() Op {
@@ -51,24 +53,24 @@ func (g *genState) next() Op {
 	}
 	op := Op{Thread: g.thread}
 	switch p := g.rng.Intn(100); {
-	case p < 28:
+	case p < 24:
 		op.Kind = OpLoad
 		g.fillAccess(&op)
-	case p < 50:
+	case p < 42:
 		op.Kind = OpStore
 		g.fillAccess(&op)
-	case p < 60:
+	case p < 51:
 		op.Kind = OpWRPKRU
 		op.Value = g.pkruValue()
-	case p < 66:
+	case p < 56:
 		op.Kind = OpGateEnter
 		g.gateDepth[g.thread%NumThreads]++
-	case p < 74:
+	case p < 62:
 		op.Kind = OpGateExit
 		if d := &g.gateDepth[g.thread%NumThreads]; *d > 0 {
 			*d--
 		}
-	case p < 81:
+	case p < 68:
 		op.Kind = OpGateCall
 		g.fillAccess(&op)
 		if g.rng.Intn(2) == 0 {
@@ -77,7 +79,7 @@ func (g *genState) next() Op {
 		if g.rng.Intn(8) == 0 {
 			op.Flags |= FlagTrustedLib
 		}
-	case p < 88:
+	case p < 74:
 		op.Kind = OpAlloc
 		op.Slot = uint8(g.rng.Intn(NumSlots))
 		op.Size = uint64(g.rng.Intn(MaxAllocBytes))
@@ -85,15 +87,15 @@ func (g *genState) next() Op {
 			op.Flags |= FlagUntrusted
 		}
 		g.slotLive[op.Slot] = true
-	case p < 92:
+	case p < 77:
 		op.Kind = OpFree
 		op.Slot = g.pickSlot()
 		g.slotLive[op.Slot%NumSlots] = false
-	case p < 94:
+	case p < 79:
 		op.Kind = OpRealloc
 		op.Slot = g.pickSlot()
 		op.Size = uint64(g.rng.Intn(MaxAllocBytes))
-	case p < 97:
+	case p < 82:
 		op.Kind = OpReserve
 		op.Addr, op.Size = g.reserveSpan()
 		op.Key = g.key()
@@ -101,10 +103,34 @@ func (g *genState) next() Op {
 			base vm.Addr
 			size uint64
 		}{op.Addr, op.Size})
-	default:
+	case p < 85:
 		op.Kind = OpSetPKey
 		op.Addr, op.Size = g.retagSpan()
 		op.Key = g.key()
+	case p < 90:
+		op.Kind = OpVKeyEnter
+		op.Slot = g.pickVKeySlot()
+		if !g.vslotLive[op.Slot] {
+			// A dead tenant would just be skipped; allocate it instead so
+			// enters usually have a live compartment to switch into.
+			op.Kind = OpVKeyAlloc
+			g.vslotLive[op.Slot] = true
+		} else {
+			g.vkeyDepth[g.thread%NumThreads]++
+		}
+	case p < 94:
+		op.Kind = OpVKeyLeave
+		if d := &g.vkeyDepth[g.thread%NumThreads]; *d > 0 {
+			*d--
+		}
+	case p < 97:
+		op.Kind = OpVKeyAlloc
+		op.Slot = uint8(g.rng.Intn(NumVKeySlots))
+		g.vslotLive[op.Slot] = true
+	default:
+		op.Kind = OpVKeyFree
+		op.Slot = g.pickVKeySlot()
+		g.vslotLive[op.Slot%NumVKeySlots] = false
 	}
 	return op
 }
@@ -198,6 +224,17 @@ func (g *genState) pickSlot() uint8 {
 	return uint8(g.rng.Intn(NumSlots))
 }
 
+// pickVKeySlot prefers live vkey tenants so enter/free mostly hit one.
+func (g *genState) pickVKeySlot() uint8 {
+	for try := 0; try < 4; try++ {
+		s := uint8(g.rng.Intn(NumVKeySlots))
+		if g.vslotLive[s] {
+			return s
+		}
+	}
+	return uint8(g.rng.Intn(NumVKeySlots))
+}
+
 // fillAccess picks a target and width for load/store/gate-call ops.
 func (g *genState) fillAccess(op *Op) {
 	// Width: mostly machine sizes, sometimes page-crossing spans.
@@ -216,7 +253,7 @@ func (g *genState) fillAccess(op *Op) {
 		return
 	}
 	op.Flags |= FlagRawAddr
-	switch g.rng.Intn(6) {
+	switch g.rng.Intn(7) {
 	case 0: // inside/near a generated reserve
 		if len(g.spans) > 0 {
 			s := g.spans[g.rng.Intn(len(g.spans))]
@@ -240,5 +277,7 @@ func (g *genState) fillAccess(op *Op) {
 		op.Addr = vm.Addr(g.rng.Uint64())
 	case 5: // address-space edge
 		op.Addr = vm.MaxAddr - vm.Addr(g.rng.Intn(2*vm.PageSize))
+	case 6: // a vkey tenant page (+ a little past the window)
+		op.Addr = vkeyBase + vm.Addr(g.rng.Intn((NumVKeySlots+1)*vm.PageSize))
 	}
 }

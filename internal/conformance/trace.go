@@ -40,6 +40,21 @@ const (
 	OpRealloc
 	// OpFree releases slot Slot.
 	OpFree
+	// OpVKeyAlloc creates a logical (virtualized) protection key for vkey
+	// tenant Slot and attaches the tenant's page to it. A tenant that is
+	// already live is skipped.
+	OpVKeyAlloc
+	// OpVKeyFree releases vkey tenant Slot's logical key. A key entered on
+	// any thread's compartment stack is refused (vkey.ErrKeyBusy).
+	OpVKeyFree
+	// OpVKeyEnter switches the thread into vkey tenant Slot's compartment,
+	// pushing a frame on its compartment stack. The slot activation may
+	// evict the least-recently-used logical key.
+	OpVKeyEnter
+	// OpVKeyLeave pops the thread's innermost compartment frame, restoring
+	// the frame below (re-derived) or the rights held before the first
+	// enter. With no frame open it is a no-op.
+	OpVKeyLeave
 
 	numOpKinds
 )
@@ -68,6 +83,14 @@ func (k OpKind) String() string {
 		return "realloc"
 	case OpFree:
 		return "free"
+	case OpVKeyAlloc:
+		return "vkey-alloc"
+	case OpVKeyFree:
+		return "vkey-free"
+	case OpVKeyEnter:
+		return "vkey-enter"
+	case OpVKeyLeave:
+		return "vkey-leave"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -182,6 +205,8 @@ func (op Op) String() string {
 		return fmt.Sprintf("t%d realloc slot%d size=%d", op.Thread, op.Slot, op.Size)
 	case OpFree:
 		return fmt.Sprintf("t%d free slot%d", op.Thread, op.Slot)
+	case OpVKeyAlloc, OpVKeyFree, OpVKeyEnter:
+		return fmt.Sprintf("t%d %v tenant%d", op.Thread, op.Kind, op.Slot)
 	default:
 		return fmt.Sprintf("t%d %v", op.Thread, op.Kind)
 	}
@@ -292,6 +317,14 @@ func exportedKindName(k OpKind) string {
 		return "OpRealloc"
 	case OpFree:
 		return "OpFree"
+	case OpVKeyAlloc:
+		return "OpVKeyAlloc"
+	case OpVKeyFree:
+		return "OpVKeyFree"
+	case OpVKeyEnter:
+		return "OpVKeyEnter"
+	case OpVKeyLeave:
+		return "OpVKeyLeave"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}

@@ -73,14 +73,65 @@ func (l *Library) FuncNames() []string {
 // ErrNoSuchFunc is returned for calls to unregistered functions.
 var ErrNoSuchFunc = errors.New("ffi: no such function")
 
+// ErrCallFiltered is returned when the registry's call filter rejects a
+// reverse-gate call: untrusted code invoked a trusted entry point that is
+// not on its allow-list.
+var ErrCallFiltered = errors.New("ffi: call filtered")
+
 // Registry holds every library linked into the program.
+//
+// With the call filter armed (SetCallFilter) the registry additionally
+// acts as the syscall-filter analogue Garmr prescribes for PKU sandboxes:
+// on real hardware a sandboxed library can always *reach* the kernel (or
+// any trusted entry point), so the last line of defense is an allow-list
+// over what it may legitimately request — seccomp for syscalls, and here
+// an allow-list over untrusted→trusted reverse-gate calls. Calls among
+// untrusted libraries and all calls from trusted code are never filtered.
 type Registry struct {
 	libs map[string]*Library
+
+	filterOn bool
+	// allowed maps caller library → "lib.fn" of permitted trusted entry
+	// points. A caller with no entry may call nothing trusted.
+	allowed map[string]map[string]bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{libs: make(map[string]*Library)}
+}
+
+// SetCallFilter arms (or disarms) the reverse-gate call filter. Like
+// library registration, filter configuration belongs to program assembly
+// and is not synchronized against in-flight calls.
+func (r *Registry) SetCallFilter(on bool) { r.filterOn = on }
+
+// CallFilter reports whether the reverse-gate call filter is armed.
+func (r *Registry) CallFilter() bool { return r.filterOn }
+
+// Allow adds lib.fn to callerLib's reverse-gate allow-list.
+func (r *Registry) Allow(callerLib, lib, fn string) {
+	if r.allowed == nil {
+		r.allowed = make(map[string]map[string]bool)
+	}
+	set := r.allowed[callerLib]
+	if set == nil {
+		set = make(map[string]bool)
+		r.allowed[callerLib] = set
+	}
+	set[lib+"."+fn] = true
+}
+
+// checkFilter enforces the allow-list for a call from untrusted code into
+// a trusted library. It is a no-op while the filter is off.
+func (r *Registry) checkFilter(callerLib string, callee *Library, fn string) error {
+	if !r.filterOn || callee.Trust != Trusted {
+		return nil
+	}
+	if r.allowed[callerLib][callee.Name+"."+fn] {
+		return nil
+	}
+	return fmt.Errorf("%w: %s -> %s.%s not on the allow-list", ErrCallFiltered, callerLib, callee.Name, fn)
 }
 
 // Library declares (or returns the existing) library with the given trust.

@@ -59,6 +59,7 @@ type Runtime struct {
 	ring          *trace.Ring
 	transitions   atomic.Uint64
 	aborted       atomic.Bool
+	exitAudit     atomic.Bool
 	tel           *runtimeTelemetry
 	sink          CrossingSink
 
@@ -241,6 +242,20 @@ func (rt *Runtime) Aborted() bool { return rt.aborted.Load() }
 // the hook a watchdog would use.
 func (rt *Runtime) Abort() { rt.aborted.Store(true) }
 
+// SetExitAudit arms (or disarms) the gate-exit PKRU audit: before a gate's
+// exit half restores the caller's rights, the rights the callee left
+// behind are compared against the rights the gate installed. Any
+// escalation — the callee (or a handler it suborned) widened its own PKRU
+// and the widening survived to the gate — aborts the runtime with
+// ErrGateTampered instead of silently resuming trusted code. This
+// generalizes the supervisor's write-then-readback check from the one
+// recovery path to every gated return. Default off: the baseline gates
+// match the paper's stubs, which verify only what they themselves write.
+func (rt *Runtime) SetExitAudit(on bool) { rt.exitAudit.Store(on) }
+
+// ExitAudit reports whether the gate-exit PKRU audit is armed.
+func (rt *Runtime) ExitAudit() bool { return rt.exitAudit.Load() }
+
 // NewThread mints an execution context starting in the trusted compartment
 // with full rights.
 func (rt *Runtime) NewThread() *Thread {
@@ -313,6 +328,15 @@ func (t *Thread) Call(lib, fn string, args ...uint64) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The syscall-filter analogue: untrusted code requesting a trusted
+	// entry point must be on the registry's allow-list. Checked before any
+	// gate work so a filtered call leaves no partial gate state behind.
+	if t.InUntrusted() {
+		if ferr := t.rt.Registry.checkFilter(t.CurrentLib(), l, fn); ferr != nil {
+			t.tc.Instant("gate-refused", l.Name, ferr.Error())
+			return nil, ferr
+		}
+	}
 	if t.rt.mode == GatesOn {
 		target := mpk.PermitAll
 		gated := l.Trust != t.CurrentTrust()
@@ -382,7 +406,7 @@ func (t *Thread) plainCall(libName string, trust Trust, f Func, args []uint64) (
 // re-derive through vkey.Refresh for the same reason; only a runtime with
 // no domain bindings replays saved bits, which are then always one of the
 // two static compartment values.
-func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, dom *DomainBinding, f Func, args []uint64) ([]uint64, error) {
+func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, dom *DomainBinding, f Func, args []uint64) (res []uint64, err error) {
 	var sp telemetry.Span
 	if tel := t.rt.tel; tel != nil {
 		if trust == Untrusted {
@@ -443,6 +467,18 @@ func (t *Thread) throughGate(libName string, trust Trust, target mpk.PKRU, dom *
 		t.trust = t.trust[:len(t.trust)-1]
 		t.libs = t.libs[:len(t.libs)-1]
 		t.stack = t.stack[:len(t.stack)-1]
+		// The gate-exit audit: before restoring anything, check the rights
+		// the callee left behind against the rights this gate installed.
+		// An escalation means the compartment widened its own PKRU and the
+		// widening survived to the gate — restore would paper over it and
+		// trusted code would resume as if the excursion never happened.
+		if t.rt.exitAudit.Load() && enterErr == nil && t.VM.Rights().Escalates(target) {
+			t.rt.aborted.Store(true)
+			if err == nil {
+				err = fmt.Errorf("%w: exit audit: callee left %v, gate installed %v",
+					ErrGateTampered, t.VM.Rights(), target)
+			}
+		}
 		// The exit half is audited exactly like the entry: restoring the
 		// caller's rights without proving the write stuck is the Garmr
 		// gate-exit class — trusted code would resume on a poisoned PKRU.

@@ -1,0 +1,83 @@
+package mpk
+
+import "testing"
+
+func TestEscalates(t *testing.T) {
+	base := DenyAllExcept(0, 3)
+	cases := []struct {
+		p    PKRU
+		want bool
+	}{
+		{base, false},                  // identical rights
+		{DenyAllExcept(), false},       // strictly narrower
+		{base.With(3, DenyAll), false}, // narrows one key
+		{PermitAll, true},              // widens everything
+		{base.With(5, 0), true},        // grants a key base denies
+		{base.With(3, WriteDisable), false} /* still within base's grant */}
+	for _, c := range cases {
+		if got := c.p.Escalates(base); got != c.want {
+			t.Errorf("(%v).Escalates(%v) = %v, want %v", c.p, base, got, c.want)
+		}
+	}
+	// PermitAll as base: nothing can escalate it.
+	if DenyAllExcept(1).Escalates(PermitAll) {
+		t.Error("narrower value escalates PermitAll")
+	}
+}
+
+func TestClampTo(t *testing.T) {
+	base := DenyAllExcept(0, 3)
+	if got := PermitAll.ClampTo(base); got != base {
+		t.Errorf("PermitAll.ClampTo(%v) = %v, want %v", base, got, base)
+	}
+	// Clamping never escalates, and never widens what the value already denied.
+	for _, p := range []PKRU{PermitAll, DenyAllExcept(5), base.With(7, 0), DenyAllExcept()} {
+		c := p.ClampTo(base)
+		if c.Escalates(base) {
+			t.Errorf("(%v).ClampTo(%v) = %v still escalates", p, base, c)
+		}
+		if c.Escalates(p) {
+			t.Errorf("(%v).ClampTo(%v) = %v escalates the original value", p, base, c)
+		}
+	}
+	// A value already within base is unchanged.
+	within := base.With(3, WriteDisable)
+	if got := within.ClampTo(base); got != within {
+		t.Errorf("(%v).ClampTo(%v) = %v, want unchanged", within, base, got)
+	}
+}
+
+// privReg records privileged-bracket activity around SetRights, verifying
+// InstallAudited wraps the gate's write in a bracket so a thread-level
+// WRPKRU guard can distinguish gate writes from rogue ones.
+type privReg struct {
+	rights       PKRU
+	depth        int
+	depthAtWrite int
+}
+
+func (r *privReg) Rights() PKRU { return r.rights }
+func (r *privReg) SetRights(p PKRU) {
+	r.rights = p
+	r.depthAtWrite = r.depth
+}
+func (r *privReg) BeginPrivilegedPKRU() func() {
+	r.depth++
+	return func() { r.depth-- }
+}
+
+func TestInstallAuditedOpensPrivilegedBracket(t *testing.T) {
+	r := &privReg{rights: PermitAll}
+	if err := InstallAudited(r, DenyAllExcept(0)); err != nil {
+		t.Fatal(err)
+	}
+	if r.depthAtWrite != 1 {
+		t.Errorf("SetRights ran at bracket depth %d, want 1", r.depthAtWrite)
+	}
+	if r.depth != 0 {
+		t.Errorf("bracket not closed: depth %d after InstallAudited", r.depth)
+	}
+	if r.rights != DenyAllExcept(0) {
+		t.Errorf("rights = %v after install", r.rights)
+	}
+}

@@ -99,6 +99,22 @@ func DenyAllExcept(keys ...Key) PKRU {
 	return p
 }
 
+// Escalates reports whether p grants any access that base denies: a set
+// bit in base (a disable) that p clears is an escalation. This is the
+// primitive every Garmr-class defense reduces to — a gate exit, a signal
+// return or a migration restore proposing rights wider than its baseline
+// is trying to smuggle access the compartment never granted.
+func (p PKRU) Escalates(base PKRU) bool {
+	return uint32(base)&^uint32(p) != 0
+}
+
+// ClampTo returns p with every escalation over base removed: any disable
+// bit set in base stays set in the result. Rights p voluntarily drops
+// beyond base are preserved — clamping only ever narrows.
+func (p PKRU) ClampTo(base PKRU) PKRU {
+	return p | base
+}
+
 // RightsRegister is the slice of a CPU context the audited installer
 // needs: the PKRU register, readable and writable. vm.Thread implements it;
 // tests substitute tampering fakes to prove the audit catches a WRPKRU
@@ -106,6 +122,31 @@ func DenyAllExcept(keys ...Key) PKRU {
 type RightsRegister interface {
 	Rights() PKRU
 	SetRights(PKRU)
+}
+
+// PrivilegedRegister is a rights register with an explicit gate-writer
+// bracket. Registers enforcing a WRPKRU guard (rejecting rights widening
+// from outside a gate) implement it; InstallAudited brackets its write so
+// every legitimate gate transition counts as privileged while rogue
+// SetRights calls from compartment code do not.
+type PrivilegedRegister interface {
+	RightsRegister
+	// BeginPrivilegedPKRU marks the caller as a legitimate gate writer and
+	// returns the function ending the bracket.
+	BeginPrivilegedPKRU() func()
+}
+
+// GateRegister is a rights register with a dedicated privileged write: a
+// gate transition through InstallAudited is by definition a legitimate
+// writer, so registers implementing this skip their WRPKRU-guard check on
+// that path instead of bracketing it. This keeps the unguarded gate hot
+// path free of per-transition synchronization; vm.Thread implements it.
+type GateRegister interface {
+	RightsRegister
+	// InstallGateRights writes the register as a gate transition: never
+	// subject to the rogue-WRPKRU guard, still subject to the readback
+	// audit InstallAudited performs around it.
+	InstallGateRights(PKRU)
 }
 
 // ErrRightsAudit is returned when a write-then-readback PKRU installation
@@ -122,7 +163,15 @@ var ErrRightsAudit = errors.New("mpk: PKRU readback does not match installed val
 // switch through this single primitive so no gate can silently skip the
 // verification.
 func InstallAudited(r RightsRegister, target PKRU) error {
-	r.SetRights(target)
+	if gr, ok := r.(GateRegister); ok {
+		gr.InstallGateRights(target)
+	} else if pr, ok := r.(PrivilegedRegister); ok {
+		end := pr.BeginPrivilegedPKRU()
+		r.SetRights(target)
+		end()
+	} else {
+		r.SetRights(target)
+	}
 	if got := r.Rights(); got != target {
 		return fmt.Errorf("%w: wrote %v, read back %v", ErrRightsAudit, target, got)
 	}

@@ -1,0 +1,23 @@
+package sig
+
+import "repro/internal/mpk"
+
+// SanitizePKRU audits the PKRU a signal handler proposes to restore at
+// sigreturn against the rights the interrupted thread held at delivery.
+// Escalations (bits the proposal clears that entry had set) are clamped
+// away unless allowEscalation is true — the profiling grant case, where a
+// widened window is tolerated under the single-step covenant. The second
+// return reports whether clamping happened.
+//
+// This is the signal-frame defense Garmr catalogues: the kernel restores
+// uc_mcontext bytes the handler (or anything that corrupted the signal
+// stack) fully controls, so an unchecked sigreturn is a WRPKRU oracle.
+// Package vm runs this audit on every Handled dispatch under its
+// SigProfiling/SigStrict policies.
+func SanitizePKRU(entry, proposed uint32, allowEscalation bool) (value uint32, clamped bool) {
+	p, e := mpk.PKRU(proposed), mpk.PKRU(entry)
+	if allowEscalation || !p.Escalates(e) {
+		return proposed, false
+	}
+	return uint32(p.ClampTo(e)), true
+}

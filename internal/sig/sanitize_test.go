@@ -1,0 +1,77 @@
+package sig
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpk"
+)
+
+func TestSanitizePKRU(t *testing.T) {
+	entry := uint32(mpk.DenyAllExcept(0)) // key 0 only
+	wide := uint32(mpk.PermitAll)
+	narrow := uint32(mpk.DenyAllExcept()) // strictly narrower than entry: every key denied
+
+	if v, clamped := SanitizePKRU(entry, wide, false); !clamped || v != uint32(mpk.PKRU(wide).ClampTo(mpk.PKRU(entry))) {
+		t.Errorf("escalation not clamped: v=%#x clamped=%v", v, clamped)
+	}
+	if v, clamped := SanitizePKRU(entry, wide, true); clamped || v != wide {
+		t.Errorf("allowed escalation clamped: v=%#x clamped=%v", v, clamped)
+	}
+	if v, clamped := SanitizePKRU(entry, entry, false); clamped || v != entry {
+		t.Errorf("identity restore clamped: v=%#x clamped=%v", v, clamped)
+	}
+	if v, clamped := SanitizePKRU(entry, narrow, false); clamped || v != narrow {
+		t.Errorf("narrowing restore clamped: v=%#x clamped=%v", v, clamped)
+	}
+	// A clamp must never end up more permissive than the entry rights.
+	if v, _ := SanitizePKRU(entry, wide, false); mpk.PKRU(v).Escalates(mpk.PKRU(entry)) {
+		t.Errorf("clamped value %#x still escalates entry %#x", v, entry)
+	}
+}
+
+// TestRegisterRejectsOutOfRangeSignal is the aliasing regression test: the
+// table used to index handlers[s%32], so Register(35) silently replaced
+// the handler for signal 3 — a hostile library could hijack the SIGSEGV
+// disposition without ever naming SIGSEGV. Out-of-range signals must now
+// be rejected outright, the simulator's sigaction EINVAL.
+func TestRegisterRejectsOutOfRangeSignal(t *testing.T) {
+	var tbl Table
+	marker := HandlerFunc(func(*Info, Context) Action { return Handled })
+	tbl.Register(3, marker)
+
+	for _, s := range []Signal{0, 32, 35, MaxSignal + 1, 64 + 3} {
+		s := s
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("Register(%d) did not panic", s)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "invalid signal") {
+					t.Errorf("Register(%d) panic = %v, want invalid-signal message", s, r)
+				}
+			}()
+			tbl.Register(s, HandlerFunc(func(*Info, Context) Action { return Fatal }))
+		}()
+	}
+	// Signal 3's disposition must have survived every aliasing attempt.
+	if h := tbl.Handler(3); h == nil || h.Handle(nil, nil) != Handled {
+		t.Error("signal 3's handler was clobbered by an out-of-range Register")
+	}
+	if h := tbl.Handler(35); h != nil {
+		t.Error("Handler(35) returned a handler for an invalid signal")
+	}
+	if got := tbl.Dispatch(&Info{Sig: 35}, nil); got != Unhandled {
+		t.Errorf("Dispatch of invalid signal = %v, want Unhandled", got)
+	}
+}
+
+func TestSignalValid(t *testing.T) {
+	for s, want := range map[Signal]bool{0: false, 1: true, SIGSEGV: true, MaxSignal: true, 32: false, 255: false} {
+		if got := s.Valid(); got != want {
+			t.Errorf("Signal(%d).Valid() = %v, want %v", s, got, want)
+		}
+	}
+}

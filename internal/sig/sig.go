@@ -22,6 +22,16 @@ const (
 	SIGTRAP Signal = 5
 )
 
+// MaxSignal is the highest signal number the table accepts. Real kernels
+// reserve 1..31 for standard signals; anything above would silently alias
+// a table slot, so registration rejects it instead (see Table.Register).
+const MaxSignal Signal = 31
+
+// Valid reports whether s is a deliverable signal number (1..MaxSignal).
+// Signal 0 is the null signal — probeable with kill(2) but never
+// deliverable — and values above MaxSignal have no table slot.
+func (s Signal) Valid() bool { return s >= 1 && s <= MaxSignal }
+
 func (s Signal) String() string {
 	switch s {
 	case SIGSEGV:
@@ -116,20 +126,36 @@ type Table struct {
 
 // Register installs h for signal s and returns the previously installed
 // handler (which may be nil), mirroring sigaction's oldact out-parameter.
+// An invalid signal number panics, the simulator's EINVAL: the table used
+// to reduce s modulo its size, so Register(35) silently replaced the
+// handler for signal 3 — an aliasing a hostile library could use to hijack
+// the SIGSEGV disposition without ever naming SIGSEGV.
 func (t *Table) Register(s Signal, h Handler) (prev Handler) {
-	prev = t.handlers[s%32]
-	t.handlers[s%32] = h
+	if !s.Valid() {
+		panic(fmt.Sprintf("sig: Register(%d): invalid signal (want 1..%d)", uint8(s), uint8(MaxSignal)))
+	}
+	prev = t.handlers[s]
+	t.handlers[s] = h
 	return prev
 }
 
-// Handler returns the currently installed handler for s, or nil.
-func (t *Table) Handler(s Signal) Handler { return t.handlers[s%32] }
+// Handler returns the currently installed handler for s, or nil. An
+// invalid signal number has no slot and yields nil.
+func (t *Table) Handler(s Signal) Handler {
+	if !s.Valid() {
+		return nil
+	}
+	return t.handlers[s]
+}
 
-// Dispatch delivers a signal to the installed handler. A nil handler or an
-// Unhandled verdict yields Unhandled, which the "hardware" in package vm
-// treats as process death.
+// Dispatch delivers a signal to the installed handler. A nil handler, an
+// invalid signal number or an Unhandled verdict yields Unhandled, which
+// the "hardware" in package vm treats as process death.
 func (t *Table) Dispatch(info *Info, ctx Context) Action {
-	h := t.handlers[info.Sig%32]
+	if !info.Sig.Valid() {
+		return Unhandled
+	}
+	h := t.handlers[info.Sig]
 	if h == nil {
 		return Unhandled
 	}

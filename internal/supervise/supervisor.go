@@ -173,6 +173,17 @@ func (s *Supervisor) Shield(t *ffi.Thread, label string, body func() error) erro
 		if uerr := t.Unwind(cp); uerr != nil {
 			return uerr
 		}
+		// Post-unwind backstop: Unwind verified the write it performed, but
+		// if the rights now in force still escalate the checkpoint's — a
+		// compartment excursion survived re-derivation, meaning the
+		// bookkeeping itself was suborned — recovery must not resume
+		// trusted code on them. This generalizes the gates'
+		// write-then-readback to the whole recovery path.
+		if t.VM.Rights().Escalates(cp.Rights()) {
+			t.Runtime().Abort()
+			return fmt.Errorf("%w: post-unwind rights %v escalate checkpoint %v",
+				ffi.ErrGateTampered, t.VM.Rights(), cp.Rights())
+		}
 		before := s.eventCount()
 		done, terr := s.recoverOnce(label, err, attempt)
 		if ev, ok := s.lastEventSince(before); ok {

@@ -134,10 +134,11 @@ type Table struct {
 	// an eviction while a callee ran can never resurrect rights for a
 	// rebound slot — the discipline domain entry and the ffi domain gates
 	// share.
-	stacks map[mpk.RightsRegister][]ID
-	clock  uint64
-	nextID ID
-	nslots int
+	stacks  map[mpk.RightsRegister][]ID
+	clock   uint64
+	nextID  ID
+	nslots  int
+	muxKeys []mpk.Key // every multiplexable slot, fixed at NewTable
 
 	activations   uint64
 	slotHits      uint64
@@ -190,6 +191,7 @@ func NewTable(space *vm.Space, cfg Config) (*Table, error) {
 			t.free = append(t.free, k)
 		}
 	}
+	t.muxKeys = append([]mpk.Key(nil), t.free...)
 	t.nslots = len(t.free)
 	if t.nslots == 0 {
 		return nil, errors.New("vkey: every hardware key is reserved")
@@ -566,6 +568,44 @@ func (t *Table) revokeLocked(hw mpk.Key) {
 			t.invalidations++
 		}
 	}
+}
+
+// Revalidate audits a PKRU value saved before a scheduler migration and
+// returns the value safe to reinstall on the destination CPU — the
+// migration half of the Garmr stale-PKRU defense. A saved value cannot be
+// replayed verbatim: any multiplexable slot it grants may have been
+// rebound to a different tenant while the thread was off-CPU, so the
+// rights are re-derived from the register's current compartment frame
+// (re-activating its logical key, exactly as Leave and Refresh do). A
+// register with no live frame gets its saved value back with every
+// multiplexable slot grant stripped; the trusted full-rights value passes
+// through untouched, mirroring revokeLocked's exemption.
+func (t *Table) Revalidate(reg mpk.RightsRegister, saved mpk.PKRU) (mpk.PKRU, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st := t.stacks[reg]; len(st) > 0 {
+		return t.rightsLocked(st[len(st)-1], reg)
+	}
+	if saved == mpk.PermitAll {
+		return saved, nil
+	}
+	out := saved
+	for _, hw := range t.muxKeys {
+		if out.Rights(hw) != mpk.DenyAll {
+			out = out.With(hw, mpk.DenyAll)
+			t.invalidations++
+		}
+	}
+	return out, nil
+}
+
+// BindMigration installs the table as th's scheduler-migration PKRU
+// revalidator: every vm.Thread.RestoreContext routes its saved PKRU
+// through Revalidate before reinstalling it.
+func (t *Table) BindMigration(th *vm.Thread) {
+	th.SetMigrationRevalidator(func(saved mpk.PKRU) (mpk.PKRU, error) {
+		return t.Revalidate(th, saved)
+	})
 }
 
 // Bind registers a thread's rights register for eviction-time PKRU

@@ -18,6 +18,15 @@ type Metrics struct {
 	// FaultRetries counts accesses re-executed after a sig.Handled repair
 	// (see Stats.FaultRetries).
 	FaultRetries *telemetry.Counter
+
+	// RoguePKRU counts PKRU writes the WRPKRU guard suppressed because
+	// they widened rights outside a privileged gate bracket.
+	RoguePKRU *telemetry.Counter
+	// SigClamped counts signal returns whose restored PKRU the sanitizer
+	// clamped back to the dispatch-time rights.
+	SigClamped *telemetry.Counter
+	// Migrations counts CPU-context restores (scheduler migrations).
+	Migrations *telemetry.Counter
 }
 
 // NewMetrics registers the thread counter families on reg and returns the
@@ -35,6 +44,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		WRPKRU:    reg.Counter("pkrusafe_vm_wrpkru_total", "Writes to the PKRU register."),
 		FaultRetries: reg.Counter("pkrusafe_vm_fault_retries_total",
 			"Accesses re-executed after a signal handler repaired a fault."),
+		RoguePKRU: reg.Counter("pkrusafe_vm_rogue_pkru_total",
+			"PKRU writes suppressed by the WRPKRU guard (widening outside a gate)."),
+		SigClamped: reg.Counter("pkrusafe_vm_sig_clamped_total",
+			"Signal returns whose restored PKRU was clamped by the sanitizer."),
+		Migrations: reg.Counter("pkrusafe_vm_migrations_total",
+			"CPU-context restores (scheduler migrations)."),
 	}
 }
 

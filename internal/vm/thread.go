@@ -37,6 +37,16 @@ type Stats struct {
 	// retry. Values approaching MaxFaultRetries per access indicate a
 	// handler that claims repairs without changing the rights.
 	FaultRetries uint64
+
+	// RoguePKRU counts PKRU writes the WRPKRU guard suppressed: attempts
+	// to widen rights from outside a privileged gate bracket (see
+	// SetPKRUGuard).
+	RoguePKRU uint64
+	// SigClamped counts signal returns whose restored PKRU the sanitizer
+	// clamped back to the dispatch-time rights (see SetSigPolicy).
+	SigClamped uint64
+	// Migrations counts CPU-context restores (see RestoreContext).
+	Migrations uint64
 }
 
 // Thread is a simulated CPU context: the PKRU register, the trap flag used
@@ -57,6 +67,21 @@ type Thread struct {
 	traps        atomic.Uint64
 	wrpkru       atomic.Uint64
 	faultRetries atomic.Uint64
+	roguePKRU    atomic.Uint64
+	sigClamped   atomic.Uint64
+	migrations   atomic.Uint64
+
+	// Hardening state (see harden.go). guard and privileged implement the
+	// WRPKRU guard; sigPolicy selects the signal-frame sanitizer; the
+	// grant fields carry the profiling covenant between a SEGV grant and
+	// its single-step retirement; revalidate audits migration restores.
+	guard         atomic.Bool
+	privileged    atomic.Int32
+	endPrivileged func()
+	sigPolicy     atomic.Int32
+	grantArmed    bool
+	grantBase     uint32
+	revalidate    func(saved mpk.PKRU) (mpk.PKRU, error)
 
 	// metrics, when non-nil, mirrors the counters above into the
 	// process-wide telemetry registry (see metrics.go).
@@ -70,7 +95,9 @@ func NewThread(space *Space, sigs *sig.Table) *Thread {
 	if sigs == nil {
 		sigs = new(sig.Table)
 	}
-	return &Thread{space: space, sigs: sigs}
+	t := &Thread{space: space, sigs: sigs}
+	t.endPrivileged = func() { t.privileged.Add(-1) }
+	return t
 }
 
 // Space returns the address space the thread executes against.
@@ -84,7 +111,17 @@ func (t *Thread) Signals() *sig.Table { return t.sigs }
 func (t *Thread) PKRU() uint32 { return t.pkru.Load() }
 
 // SetPKRU writes the rights register (WRPKRU), implementing sig.Context.
+// With the WRPKRU guard armed (SetPKRUGuard), a write that widens rights
+// from outside a privileged gate bracket is suppressed and counted — the
+// rogue-WRPKRU defense Garmr requires of every PKU sandbox.
 func (t *Thread) SetPKRU(v uint32) {
+	if t.guard.Load() && t.privileged.Load() == 0 && mpk.PKRU(v).Escalates(t.Rights()) {
+		t.roguePKRU.Add(1)
+		if m := t.metrics; m != nil {
+			m.RoguePKRU.Inc()
+		}
+		return
+	}
 	t.pkru.Store(v)
 	t.wrpkru.Add(1)
 	if m := t.metrics; m != nil {
@@ -115,6 +152,9 @@ func (t *Thread) Stats() Stats {
 		Traps:        t.traps.Load(),
 		WRPKRU:       t.wrpkru.Load(),
 		FaultRetries: t.faultRetries.Load(),
+		RoguePKRU:    t.roguePKRU.Load(),
+		SigClamped:   t.sigClamped.Load(),
+		Migrations:   t.migrations.Load(),
 	}
 }
 
@@ -161,10 +201,12 @@ func (t *Thread) access(addr Addr, buf []byte, kind sig.AccessKind) error {
 			m.Traps.Inc()
 		}
 		info := &sig.Info{Sig: sig.SIGTRAP, Addr: uint64(addr), Access: kind}
+		entry := t.Rights()
 		if t.sigs.Dispatch(info, t) == sig.Unhandled {
 			t.trap.Store(false)
 			return &Fault{Info: *info, PKRU: t.Rights()}
 		}
+		t.sigreturn(entry, true)
 	}
 	return nil
 }
@@ -204,8 +246,10 @@ func (t *Thread) checkPageSlow(a Addr, kind sig.AccessKind) (*page, error) {
 		if try >= MaxFaultRetries {
 			return nil, &Fault{Info: info, PKRU: t.Rights()}
 		}
+		entry := t.Rights()
 		switch t.sigs.Dispatch(&info, t) {
 		case sig.Handled:
+			t.sigreturn(entry, false)
 			t.faultRetries.Add(1)
 			if m := t.metrics; m != nil {
 				m.FaultRetries.Inc()
