@@ -1,4 +1,4 @@
-.PHONY: check test build fmt conform fuzz-smoke recover-demo profile-demo domains-demo trace-demo attack-demo
+.PHONY: check test build fmt conform fuzz-smoke recover-demo profile-demo domains-demo trace-demo attack-demo resilience-demo
 
 check:
 	sh scripts/check.sh
@@ -31,6 +31,25 @@ attack-demo:
 	go run ./cmd/pkru-conform -attacks -q
 	@echo "--- concurrent drills: retag and migration races under -race ---"
 	go test -race -run 'TestRace' ./internal/attack/
+
+# resilience-demo proves tenant-scoped fault containment end to end
+# (docs/recovery.md): one tenant mounts the attack payload roster through
+# its gates until its circuit breaker opens and its pool quarantines; the
+# servo's verdict line must read CONTAINED — only the hostile tenant's
+# epoch bumps, every healthy tenant completes 100% of its requests, zero
+# leaks, zero breaches — or the run exits non-zero. The breaker
+# transition instants on the exported timeline and the healthy-tenant
+# latency report are then validated by tracecheck.
+resilience-demo:
+	@echo "--- hostile tenant in, healthy tenants out: containment verdict ---"
+	go run ./cmd/pkru-servo -domains=8 -domain-workers=1 -domain-cycles=96 \
+		-hostile=tenant003 -churn=false -breaker-probe-after=1h -recover=quarantine \
+		-trace-json /tmp/pkru-resilience-demo.json -latency-out /tmp/pkru-resilience-lat.json
+	@echo "--- breaker transitions on the timeline + healthy latency report ---"
+	go run ./scripts/tracecheck /tmp/pkru-resilience-demo.json /tmp/pkru-resilience-lat.json
+	@echo "--- containment overhead (smoke iterations) ---"
+	go run ./cmd/pkru-bench -experiment resilience -micro-iters 20000
+	@rm -f /tmp/pkru-resilience-demo.json /tmp/pkru-resilience-lat.json
 
 # domains-demo exercises the N-domain layer end to end
 # (docs/domains.md): 64 logical domains multiplexed onto 13 hardware

@@ -626,6 +626,72 @@ func TestCLIServoRecover(t *testing.T) {
 	}
 }
 
+// TestCLIServoResilienceGolden pins the containment verdict byte for
+// byte. The hostile run is fully deterministic — one worker per domain,
+// round-robin tenant selection, churn off, a probe backoff longer than
+// the run so the tripped breaker never half-opens — so the hostile
+// tenant takes exactly 12 requests: 3 fault (tripping the breaker at
+// the default threshold), 9 shed at admission, 3 quarantine epochs on
+// its pool alone, while the 7 healthy tenants complete 84/84. Any drift
+// in these numbers is a containment-semantics change, not noise.
+func TestCLIServoResilienceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	const golden = `resilience: hostile=tenant003 requests=12 faulted=3 shed=9 breaker=open trips=1
+resilience: hostile-epochs=3 healthy-pools-bumped=0
+resilience: healthy tenants=7 ok=84 dropped=0 leaks=0 breaches=0
+resilience: verdict CONTAINED
+`
+	servo := buildTool(t, "pkru-servo")
+	for run := 0; run < 2; run++ {
+		out, err := exec.Command(servo, "-domains=8", "-domain-workers=1",
+			"-domain-cycles=96", "-hostile=tenant003", "-churn=false",
+			"-breaker-probe-after=1h", "-recover=quarantine").CombinedOutput()
+		if err != nil {
+			t.Fatalf("run %d: %v\n%s", run, err, out)
+		}
+		var verdict strings.Builder
+		for _, line := range strings.SplitAfter(string(out), "\n") {
+			if strings.HasPrefix(line, "resilience:") {
+				verdict.WriteString(line)
+			}
+		}
+		if verdict.String() != golden {
+			t.Errorf("run %d verdict differs from golden:\n--- got ---\n%s--- want ---\n%s\n--- full output ---\n%s",
+				run, verdict.String(), golden, out)
+		}
+	}
+}
+
+// TestCLIServoHostileSheds checks the admission-control contract from
+// the outside: a shed hostile request must be refused before any gate
+// opens (the shed counter moves, the hostile tenant's ok-count does
+// not), and an open breaker must not bleed into the exit status as long
+// as containment holds.
+func TestCLIServoHostileSheds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	servo := buildTool(t, "pkru-servo")
+	out, err := exec.Command(servo, "-domains=8", "-domain-workers=1",
+		"-domain-cycles=96", "-hostile=tenant003", "-churn=false",
+		"-breaker-probe-after=1h", "-recover=quarantine").CombinedOutput()
+	if err != nil {
+		t.Fatalf("contained hostile run must exit zero: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "shed=9") || !strings.Contains(text, "breaker=open") {
+		t.Errorf("hostile run did not shed behind an open breaker:\n%s", text)
+	}
+	// -hostile without -domains is a usage error.
+	out, err = exec.Command(servo, "-hostile=tenant003").CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("-hostile without -domains: err=%v, want exit status 2\n%s", err, out)
+	}
+}
+
 // TestCLIConformSupervised runs the supervised-gate drill through the
 // shipped conformance binary.
 func TestCLIConformSupervised(t *testing.T) {

@@ -12,6 +12,7 @@
 //	pkru-bench -experiment recovery   fault supervision overhead (fault-free)
 //	pkru-bench -experiment profiling  crossing-sampler overhead (docs/profiling.md)
 //	pkru-bench -experiment vkeys      virtual-key slot-miss overhead (docs/domains.md)
+//	pkru-bench -experiment resilience hostile-tenant containment overhead (docs/recovery.md)
 //	pkru-bench -experiment all        everything above
 //
 // Absolute times are the simulator's, not the paper testbed's; the
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "micro|fig3|table1|dromaeo|kraken|octane|jetstream|sites|ablation|recovery|profiling|vkeys|all")
+	experiment := flag.String("experiment", "all", "micro|fig3|table1|dromaeo|kraken|octane|jetstream|sites|ablation|recovery|profiling|vkeys|resilience|all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (lower = faster)")
 	repeats := flag.Int("repeats", 3, "timed repetitions per configuration (min kept)")
 	microIters := flag.Int("micro-iters", 200000, "iterations per micro-benchmark measurement")
@@ -141,6 +142,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
+	if run("resilience") {
+		iters := *microIters / 10
+		rs, err := bench.RunResilience(iters)
+		exitOn(err)
+		fmt.Println(bench.FormatResilience(rs))
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "resilience.json")
+			f, err := os.Create(path)
+			exitOn(err)
+			exitOn(bench.WriteResilienceJSON(f, iters, rs))
+			exitOn(f.Close())
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
 	if !anyExperiment(*experiment) {
 		fmt.Fprintf(os.Stderr, "pkru-bench: unknown experiment %q\n", *experiment)
 		flag.Usage()
@@ -158,7 +173,7 @@ func writeReport(path string, r bench.SuiteReport, write func(io.Writer, bench.S
 
 func anyExperiment(name string) bool {
 	switch name {
-	case "micro", "fig3", "table1", "dromaeo", "kraken", "octane", "jetstream", "sites", "ablation", "recovery", "profiling", "vkeys", "all":
+	case "micro", "fig3", "table1", "dromaeo", "kraken", "octane", "jetstream", "sites", "ablation", "recovery", "profiling", "vkeys", "resilience", "all":
 		return true
 	}
 	return false

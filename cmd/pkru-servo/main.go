@@ -30,11 +30,27 @@
 // PKRU revocation. Every request runs under a request-scoped trace
 // context (docs/tracing.md): gate enter/exit, faults, supervisor
 // recovery actions and slot evictions correlate under one trace ID with
-// the tenant's label. -inject-fault N makes every Nth request touch the
-// trusted heap from inside its domain — a pkey fault the -recover
+// the tenant's label. -inject-fault makes selected requests touch the
+// trusted heap from inside their domain — a pkey fault the -recover
 // policy then answers — so the retained traces show the full
-// fault→recovery arc. The pkrusafe_vkey_* and gate-latency families are
-// live on -listen's /metrics while the workload runs.
+// fault→recovery arc; "40" injects into every 40th request globally,
+// "tenant3:0.2" into 20% of tenant3's requests (deterministically).
+// The pkrusafe_vkey_* and gate-latency families are live on -listen's
+// /metrics while the workload runs.
+//
+// -hostile=<tenant> turns one tenant of the -domains workload
+// compromised: its requests run the internal/attack payload roster
+// (trusted reads, rogue WRPKRUs, cross-tenant probes) through its own
+// gates. Each tenant fronts a circuit breaker (docs/recovery.md): the
+// hostile tenant's faults trip it, later requests are shed at admission
+// with a typed refusal before touching any gate, and the supervisor
+// quarantines only that tenant's pool (its epoch bumps; nobody else's).
+// Healthy tenants' slots are pinned against eviction while the breaker
+// is open. The run prints a "resilience:" verdict block and exits
+// non-zero if containment failed. -churn=false freezes the tenant set
+// for deterministic rehearsals; -breaker-probe-after overrides the
+// open→half-open backoff; /tenants.json on -listen serves live
+// breaker/epoch state.
 //
 // -latency-out writes a schema-versioned per-tenant latency report
 // (p50/p95/p99 and throughput, the numbers behind BENCH_gatetrace.json);
@@ -68,6 +84,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/browser"
 	"repro/internal/core"
 	"repro/internal/domains"
@@ -76,10 +93,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/profstore"
+	"repro/internal/resilience"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
+	"repro/internal/workload"
 )
 
 const demoHTML = `
@@ -128,13 +147,19 @@ func main() {
 	traceJSON := flag.String("trace-json", "", `write retained request traces as Chrome trace_event JSON to this path at exit ("-" = stdout)`)
 	latencyOut := flag.String("latency-out", "", `write a schema-versioned per-tenant latency/throughput report to this path ("-" = stdout)`)
 	tailThreshold := flag.Duration("trace-tail", 0, "additionally retain clean request traces at least this slow (0 = flagged traces only)")
-	injectFault := flag.Int("inject-fault", 0, "-domains only: inject a compartment fault into every Nth request (0 = never)")
+	injectFault := flag.String("inject-fault", "", `-domains only: inject compartment faults ("40" = every 40th request; "tenant3:0.2" = 20% of tenant3's requests; "tenant3:5" = every 5th of tenant3's)`)
 	adaptTarget := flag.Duration("adapt-target", 0, "retune the crossing sampler's interval from the live gate-latency p99 around this target (0 = off)")
 	sampleInterval := flag.Int("sample-interval", 8, "initial crossing-sampler interval for the -domains workload")
 	nDomains := flag.Int("domains", 0, "run the multi-tenant domain workload with this many logical domains instead of the browser")
 	domainWorkers := flag.Int("domain-workers", 4, "concurrent worker threads for the -domains workload")
 	domainCycles := flag.Int("domain-cycles", 2000, "domain entries per worker for the -domains workload")
+	hostile := flag.String("hostile", "", "-domains only: this tenant runs the attack payload roster instead of honest work; prints a resilience verdict and exits non-zero on a containment breach")
+	churn := flag.Bool("churn", true, "-domains only: rotate tenants out and back in while the workload runs (disable for deterministic rehearsals)")
+	probeAfter := flag.Duration("breaker-probe-after", 0, "-domains only: base open→half-open breaker backoff (0 = the resilience default)")
 	flag.Parse()
+
+	faultSpec, err := workload.ParseFaultSpec(*injectFault)
+	exitOn(err)
 
 	if *nDomains > 0 {
 		runDomains(domainRunConfig{
@@ -149,11 +174,18 @@ func main() {
 			traceJSON:      *traceJSON,
 			traceOut:       *traceOut,
 			tailThreshold:  *tailThreshold,
-			injectEvery:    *injectFault,
+			fault:          faultSpec,
 			adaptTarget:    *adaptTarget,
 			sampleInterval: *sampleInterval,
+			hostile:        *hostile,
+			churn:          *churn,
+			probeAfter:     *probeAfter,
 		})
 		return
+	}
+	if *hostile != "" {
+		fmt.Fprintln(os.Stderr, "pkru-servo: -hostile needs the -domains workload")
+		os.Exit(2)
 	}
 
 	policy, err := supervise.ParsePolicy(*recoverName)
@@ -372,9 +404,20 @@ type domainRunConfig struct {
 	traceJSON          string
 	traceOut           string
 	tailThreshold      time.Duration
-	injectEvery        int
+	fault              workload.FaultSpec
 	adaptTarget        time.Duration
 	sampleInterval     int
+	hostile            string
+	churn              bool
+	probeAfter         time.Duration
+}
+
+// tenantsView is the /tenants.json payload: per-tenant breaker state
+// beside per-pool quarantine epochs, the two halves of the resilience
+// story an operator wants on one page.
+type tenantsView struct {
+	Breakers []resilience.TenantState `json:"breakers"`
+	Epochs   map[string]uint64        `json:"epochs"`
 }
 
 // runDomains drives the multi-tenant domain workload: n logical domains
@@ -412,6 +455,8 @@ func runDomains(o domainRunConfig) {
 	churned := reg.Counter("pkruservo_domain_churn_total", "Tenants removed and re-added while the workload ran.")
 	droppedReqs := reg.Counter("pkruservo_domain_dropped_total", "Requests the recovery policy could not save.")
 	refused := reg.Counter("pkruservo_domain_refused_total", "Requests refused at the gate because churn freed the tenant's key mid-flight.")
+	shedReqs := reg.Counter("pkruservo_domain_shed_total", "Requests shed at admission by an open tenant breaker, never gated.")
+	breaches := reg.Counter("pkruservo_hostile_breach_total", "Hostile payloads that reached their goal (must stay 0).")
 
 	// The ffi runtime over the manager's allocator: tenant libraries are
 	// untrusted and domain-bound, so every call into one gates through the
@@ -426,13 +471,23 @@ func runDomains(o domainRunConfig) {
 	sup := supervise.New(supervise.Config{Policy: policy},
 		supervise.Deps{Alloc: m.Allocator(), Ring: ring, Telemetry: reg})
 
+	// The admission-control tier: one circuit breaker per tenant, between
+	// the request loop and the gates. A tenant whose compartment keeps
+	// faulting is shed here — typed refusal, no gate entry, no recovery
+	// budget spent — while every other tenant keeps its throughput.
+	breakers := resilience.NewGroup(resilience.Config{ProbeAfter: o.probeAfter})
+	breakers.SetTelemetry(reg)
+
 	ctlStop := startController(o.adaptTarget, sampler, reg)
 
 	var srv *obs.Server
 	if o.listen != "" {
 		srv, err = obs.ListenAndServe(o.listen, obs.ServerConfig{
 			Registry: reg, Ring: ring, Traces: tracer,
-			Domains: func() any { return m.Occupancy() }})
+			Domains: func() any { return m.Occupancy() },
+			Tenants: func() any {
+				return tenantsView{Breakers: breakers.Snapshot(), Epochs: m.Allocator().DomainEpochs()}
+			}})
 		exitOn(err)
 		fmt.Fprintf(os.Stderr, "pkru-servo: observability server on %s\n", srv.URL())
 	}
@@ -482,6 +537,26 @@ func runDomains(o domainRunConfig) {
 		}
 		return []uint64{v}, err
 	}
+	// hostileWork is the entry point a compromised tenant's library runs:
+	// one attack payload per request, rotated deterministically by the
+	// tenant-local sequence number. Every payload must die with a PKUERR
+	// inside the tenant's own compartment; one that reaches its goal is an
+	// isolation breach. args: payload index, secret address, victim address.
+	payloads := attack.TenantPayloads()
+	hostileWork := func(t *ffi.Thread, args []uint64) ([]uint64, error) {
+		idx, secretAddr, victim := args[0], args[1], args[2]
+		p := payloads[idx%uint64(len(payloads))]
+		breached, err := p.Run(t, attack.PayloadTargets{
+			Secret: vm.Addr(secretAddr), Victim: vm.Addr(victim)})
+		if err != nil {
+			return nil, err
+		}
+		if breached {
+			breaches.Inc()
+			fmt.Fprintf(os.Stderr, "pkru-servo: HOSTILE BREACH: payload %s (%s) reached its goal\n", p.Name, p.Class)
+		}
+		return []uint64{0}, nil
+	}
 	addTenant := func(i int) error {
 		d, err := m.AddDomain(name(i))
 		if err != nil {
@@ -499,6 +574,7 @@ func runDomains(o domainRunConfig) {
 			return err
 		}
 		lib.Define("work", work)
+		lib.Define("hostile", hostileWork)
 		m.BindLibrary(rt, name(i), d)
 		tenants[i].mu.Lock()
 		tenants[i].buf = buf
@@ -517,6 +593,43 @@ func runDomains(o domainRunConfig) {
 
 	lr := newLatencyRecorder()
 	var reqSeq atomic.Uint64
+	perSeq := make([]atomic.Uint64, o.n) // tenant-local request sequence
+	okBy := make([]atomic.Uint64, o.n)   // per-tenant successes, for the verdict
+	dropBy := make([]atomic.Uint64, o.n) // per-tenant drops, for the verdict
+
+	// setPins pins (or unpins) every tenant's slot except the flapping
+	// one: while a breaker is open or half-open probing, the healthy,
+	// latency-critical tenants keep their hardware slots instead of losing
+	// them to the probe traffic's activations. Best-effort — a tenant
+	// churned away mid-loop just skips.
+	setPins := func(except string, on bool) {
+		for j := 0; j < o.n; j++ {
+			if name(j) == except {
+				continue
+			}
+			if on {
+				_ = m.Pin(name(j))
+			} else {
+				_ = m.Unpin(name(j))
+			}
+		}
+	}
+	// mark publishes a breaker transition: a gatetrace instant on the
+	// request's trace (flagging it for retention) and the pinning
+	// side-effect — open pins the healthy tenants, closed releases them.
+	mark := func(tc *gatetrace.Context, tenant string, tr *resilience.Transition) {
+		if tr == nil {
+			return
+		}
+		tc.MarkBreaker(tr.To.String(), tenant, tr.Reason)
+		switch tr.To {
+		case resilience.Open:
+			setPins(tenant, true)
+		case resilience.Closed:
+			setPins(tenant, false)
+		}
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < o.workers; w++ {
@@ -524,59 +637,102 @@ func runDomains(o domainRunConfig) {
 		go func(w int) {
 			defer wg.Done()
 			th := rt.NewThread()
+			if o.hostile != "" {
+				// The payload roster includes rogue WRPKRUs; arm the
+				// per-thread guard so the defense under test is on.
+				th.VM.SetPKRUGuard(true)
+			}
 			for c := 0; c < o.cycles; c++ {
 				i := (w + c) % o.n
-				if _, ok := m.Domain(name(i)); !ok {
+				tenantName := name(i)
+				if _, ok := m.Domain(tenantName); !ok {
 					continue // churned away between pick and lookup
 				}
 				seq := reqSeq.Add(1)
-				inject := o.injectEvery > 0 && seq%uint64(o.injectEvery) == 0
+				tseq := int(perSeq[i].Add(1))
+				injSeq := int(seq)
+				if o.fault.Tenant != "" {
+					injSeq = tseq // tenant-scoped spec counts the tenant's own stream
+				}
+				inject := o.fault.Hits(tenantName, injSeq)
 				// One request: its own trace context, attached to the
 				// thread for gate spans and bound to the rights register
 				// for eviction attribution.
-				tc := tracer.Start(name(i))
+				tc := tracer.Start(tenantName)
+				// Admission: an open breaker sheds the request here —
+				// counted, typed, never gated, no latency sample.
+				tr, aerr := breakers.Allow(tenantName)
+				if aerr != nil {
+					shedReqs.Inc()
+					tc.Finish()
+					continue
+				}
+				mark(tc, tenantName, tr)
 				th.SetTraceContext(tc)
 				tracer.Bind(th.VM, tc)
+				qBefore := sup.DomainQuarantines(tenantName)
 				reqStart := time.Now()
-				err := sup.Shield(th, name(i)+".work", func() error {
-					inj := uint64(0)
-					if inject {
-						inj, inject = 1, false // fault once; the retry succeeds
-					}
-					_, err := th.Call(name(i), "work",
-						uint64(bufOf(i)), uint64(bufOf((i+1)%o.n)), uint64(secret), inj)
-					return err
-				})
+				var err error
+				if o.hostile == tenantName {
+					err = sup.Shield(th, tenantName+".hostile", func() error {
+						_, herr := th.Call(tenantName, "hostile",
+							uint64(tseq-1), uint64(secret), uint64(bufOf((i+1)%o.n)))
+						return herr
+					})
+				} else {
+					err = sup.Shield(th, tenantName+".work", func() error {
+						inj := uint64(0)
+						if inject {
+							inj, inject = 1, false // fault once; the retry succeeds
+						}
+						_, werr := th.Call(tenantName, "work",
+							uint64(bufOf(i)), uint64(bufOf((i+1)%o.n)), uint64(secret), inj)
+						return werr
+					})
+				}
 				reqLat := time.Since(reqStart)
 				tracer.Unbind(th.VM)
 				th.SetTraceContext(nil)
-				tc.Finish()
+				// Recovery actions the supervisor spent on this tenant burn
+				// its breaker budget, opening it even when the request was
+				// ultimately saved.
+				if burned := sup.DomainQuarantines(tenantName) - qBefore; burned > 0 {
+					mark(tc, tenantName, breakers.RecordBurn(tenantName, burned))
+				}
 				var cerr *supervise.CompartmentError
 				var fault *vm.Fault
 				switch {
 				case err == nil:
 					entries.Inc()
-					lr.record(name(i), reqLat)
+					okBy[i].Add(1)
+					lr.record(tenantName, reqLat)
+					mark(tc, tenantName, breakers.RecordSuccess(tenantName))
 				case errors.As(err, &cerr), errors.As(err, &fault):
 					// The policy gave the request up (or, under abort, the
 					// injected fault surfaced raw). Dropped, not fatal.
 					droppedReqs.Inc()
+					dropBy[i].Add(1)
+					mark(tc, tenantName, breakers.RecordFault(tenantName))
 				default:
 					// Churn freed the tenant's key between lookup and gate
 					// entry; the gate failed closed without running the body.
+					// Not the tenant's fault: the breaker does not charge it.
 					refused.Inc()
 				}
+				tc.Finish()
 			}
 		}(w)
 	}
 
 	// Churn loop: while the workers run, rotate tenants out and back in so
 	// key recycling and pool scrubbing happen under live concurrent entry.
+	// -churn=false skips it for deterministic rehearsals (the golden
+	// resilience transcript depends on a fixed request schedule).
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	victim := 0
 churn:
-	for {
+	for o.churn {
 		select {
 		case <-done:
 			break churn
@@ -602,6 +758,7 @@ churn:
 		}
 		churned.Inc()
 	}
+	<-done
 	elapsed := time.Since(start)
 	stopController(ctlStop)
 
@@ -610,13 +767,79 @@ churn:
 	if leaks.Value() > 0 {
 		fmt.Fprintf(os.Stderr, "pkru-servo: ISOLATION FAILURE: %d cross-tenant probe(s) succeeded\n", leaks.Value())
 	}
-	fmt.Printf("domains=%d slots=%d workers=%d requests=%d reads=%d denied-probes=%d leaks=%d dropped=%d refused=%d churn=%d elapsed=%v\n",
+	fmt.Printf("domains=%d slots=%d workers=%d requests=%d reads=%d denied-probes=%d leaks=%d dropped=%d refused=%d shed=%d churn=%d elapsed=%v\n",
 		o.n, st.Slots, o.workers, entries.Value(), reads.Value(), denied.Value(), leaks.Value(),
-		droppedReqs.Value(), refused.Value(), churned.Value(), elapsed.Round(time.Millisecond))
+		droppedReqs.Value(), refused.Value(), shedReqs.Value(), churned.Value(), elapsed.Round(time.Millisecond))
 	fmt.Printf("vkeys: logical=%d active=%d parked=%d activations=%d slot-misses=%d evictions=%d recycled=%d invalidations=%d\n",
 		st.Logical, st.Active, st.Parked, st.Activations, st.SlotMisses, st.Evictions, st.Recycled, st.Invalidations)
 	fmt.Printf("traces: started=%d finished=%d retained=%d dropped=%d sampler-interval=%d\n",
 		ts.Started, ts.Finished, ts.Retained, ts.Dropped, sampler.Interval())
+
+	// The containment verdict: with a hostile tenant in play, prove the
+	// blast radius stayed inside that tenant. Its breaker must have
+	// tripped, only its pool's epoch may have bumped (under a quarantining
+	// policy), and every healthy tenant must have kept a 100% success
+	// rate. A breach exits non-zero — CI runs this as a gate.
+	contained := true
+	if o.hostile != "" {
+		hi := -1
+		for j := 0; j < o.n; j++ {
+			if name(j) == o.hostile {
+				hi = j
+				break
+			}
+		}
+		if hi < 0 {
+			fmt.Fprintf(os.Stderr, "pkru-servo: -hostile %s names no tenant (have tenant000..%s)\n", o.hostile, name(o.n-1))
+			os.Exit(2)
+		}
+		// Epoch accounting comes from the supervisor's per-domain
+		// quarantine counters, not the pools' live epochs: the churn loop
+		// recycles pools (resetting their epoch to zero), which would
+		// erase a quarantine history the verdict needs — cumulatively for
+		// the hostile tenant, and at all for a healthy one.
+		healthyN, healthyBumped, healthyOK, healthyDropped := 0, 0, uint64(0), uint64(0)
+		for j := 0; j < o.n; j++ {
+			if j == hi || name(j) == o.fault.Tenant {
+				// The hostile tenant and a deliberately fault-injected
+				// tenant are not "healthy": their drops and epoch bumps
+				// are the experiment, not collateral damage.
+				continue
+			}
+			healthyN++
+			if sup.DomainQuarantines(name(j)) > 0 {
+				healthyBumped++
+			}
+			healthyOK += okBy[j].Load()
+			healthyDropped += dropBy[j].Load()
+		}
+		var trips uint64
+		for _, tsn := range breakers.Snapshot() {
+			if tsn.Tenant == o.hostile {
+				trips = tsn.Trips
+			}
+		}
+		bstate := breakers.State(o.hostile)
+		fmt.Printf("resilience: hostile=%s requests=%d faulted=%d shed=%d breaker=%s trips=%d\n",
+			o.hostile, perSeq[hi].Load(), dropBy[hi].Load(), breakers.Shed(o.hostile), bstate, trips)
+		hostileEpochs := sup.DomainQuarantines(o.hostile)
+		fmt.Printf("resilience: hostile-epochs=%d healthy-pools-bumped=%d\n",
+			hostileEpochs, healthyBumped)
+		fmt.Printf("resilience: healthy tenants=%d ok=%d dropped=%d leaks=%d breaches=%d\n",
+			healthyN, healthyOK, healthyDropped, leaks.Value(), breaches.Value())
+		// Abort and retry never quarantine, so only the quarantining
+		// policies owe an epoch bump for containment.
+		wantEpochs := policy == supervise.Quarantine || policy == supervise.Heal
+		contained = bstate != resilience.Closed &&
+			(!wantEpochs || hostileEpochs > 0) &&
+			healthyBumped == 0 && healthyDropped == 0 &&
+			leaks.Value() == 0 && breaches.Value() == 0
+		verdict := "CONTAINED"
+		if !contained {
+			verdict = "BREACH"
+		}
+		fmt.Printf("resilience: verdict %s\n", verdict)
+	}
 
 	if o.latencyOut != "" {
 		writeLatencyReport(o.latencyOut, latencyReport{
@@ -624,6 +847,7 @@ churn:
 			Policy: policy.String(), Domains: o.n, Workers: o.workers,
 			Requests: int(entries.Value() + droppedReqs.Value()),
 			Dropped:  int(droppedReqs.Value()),
+			Shed:     int(shedReqs.Value()),
 		}, lr, elapsed)
 	}
 	if o.traceJSON != "" {
@@ -639,7 +863,7 @@ churn:
 		writeTo(o.metricsJSON, reg.Snapshot().WriteJSON)
 	}
 	closeServer(srv)
-	if leaks.Value() > 0 {
+	if leaks.Value() > 0 || !contained {
 		os.Exit(1)
 	}
 }
@@ -710,6 +934,7 @@ type latencyReport struct {
 	Workers       int             `json:"workers,omitempty"`
 	Requests      int             `json:"requests"`
 	Dropped       int             `json:"dropped"`
+	Shed          int             `json:"shed,omitempty"`
 	ElapsedS      float64         `json:"elapsed_s"`
 	ThroughputRPS float64         `json:"throughput_rps"`
 	Tenants       []tenantLatency `json:"tenants"`

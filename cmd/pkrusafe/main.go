@@ -549,7 +549,14 @@ func reportRecovery(w io.Writer, sup *supervise.Supervisor, survived bool) {
 			line += " site=" + e.Site
 		}
 		if e.Epoch != 0 {
-			line += fmt.Sprintf(" mu-epoch=%d", e.Epoch)
+			// A quarantine epoch belongs to one domain pool when the fault
+			// was attributable to a tenant, and to the global MU tier
+			// otherwise — render which pool paid for the recovery.
+			if e.Domain != "" {
+				line += fmt.Sprintf(" domain=%s epoch=%d", e.Domain, e.Epoch)
+			} else {
+				line += fmt.Sprintf(" mu-epoch=%d", e.Epoch)
+			}
 		}
 		fmt.Fprintln(w, line)
 		if e.Averted != nil {

@@ -1,0 +1,95 @@
+package attack
+
+import (
+	"repro/internal/ffi"
+	"repro/internal/mpk"
+	"repro/internal/vm"
+)
+
+// PayloadTargets are the addresses a hostile in-gate payload aims at.
+// Unlike the self-contained Scenarios, payloads run inside an existing
+// multi-tenant world — pkru-servo's -hostile mode executes them from
+// within one tenant's untrusted library, through that tenant's own
+// gates — so the world hands the targets in rather than building them.
+type PayloadTargets struct {
+	// Secret is a trusted (MT) word the compartment model says the
+	// tenant must never read or write.
+	Secret vm.Addr
+	// Victim is a word inside another tenant's private pool — reachable
+	// only if cross-domain isolation is broken.
+	Victim vm.Addr
+}
+
+// Payload is one hostile operation a compromised tenant mounts from
+// inside its own compartment. Run executes on the tenant's thread while
+// the tenant's domain gate is open (restricted PKRU in force); it
+// reports breached=true when the attack reached its goal and returns
+// the error it died with otherwise — with defenses armed that error
+// classifies as FaultPKU.
+type Payload struct {
+	Name  string // payload identifier, e.g. "trusted-read"
+	Class string // Garmr attack class it instantiates
+	Run   func(t *ffi.Thread, tgt PayloadTargets) (breached bool, err error)
+}
+
+// TenantPayloads returns the hostile-tenant roster in canonical order.
+// pkru-servo's -hostile mode rotates through it deterministically; every
+// payload must die with a PKUERR under armed defenses, driving the
+// fault/quarantine/breaker pipeline end to end.
+func TenantPayloads() []Payload {
+	return []Payload{
+		{
+			// The plain compartment breach: load the trusted secret with
+			// the tenant's own (restricted) rights.
+			Name:  "trusted-read",
+			Class: "compartment-breach",
+			Run: func(t *ffi.Thread, tgt PayloadTargets) (bool, error) {
+				v, err := t.Load64(tgt.Secret)
+				if err != nil {
+					return false, err
+				}
+				return v == secretValue, nil
+			},
+		},
+		{
+			// The Garmr headline: execute a rights-widening WRPKRU from
+			// untrusted code, then collect the secret. The thread's WRPKRU
+			// guard suppresses the widening, so the load still faults.
+			Name:  "rogue-wrpkru",
+			Class: "rogue-wrpkru",
+			Run: func(t *ffi.Thread, tgt PayloadTargets) (bool, error) {
+				t.VM.SetPKRU(uint32(mpk.PermitAll))
+				v, err := t.Load64(tgt.Secret)
+				if err != nil {
+					return false, err
+				}
+				return v == secretValue, nil
+			},
+		},
+		{
+			// Cross-tenant probe: reach into a neighbour's private pool.
+			// The victim's pages carry a different (or parked) key the
+			// hostile tenant's PKRU never grants.
+			Name:  "cross-tenant-probe",
+			Class: "compartment-breach",
+			Run: func(t *ffi.Thread, tgt PayloadTargets) (bool, error) {
+				if _, err := t.Load64(tgt.Victim); err != nil {
+					return false, err
+				}
+				return true, nil
+			},
+		},
+		{
+			// Trusted clobber: the write variant — corrupt MT state
+			// instead of stealing it.
+			Name:  "trusted-clobber",
+			Class: "compartment-breach",
+			Run: func(t *ffi.Thread, tgt PayloadTargets) (bool, error) {
+				if err := t.Store64(tgt.Secret, 0xdead); err != nil {
+					return false, err
+				}
+				return true, nil
+			},
+		},
+	}
+}

@@ -122,11 +122,13 @@ func (m *Manager) Tracing() *gatetrace.Tracer {
 }
 
 // DomainState is one domain's row in an Occupancy snapshot: the vkey
-// state of its logical key joined with its private pool's heap counters.
+// state of its logical key joined with its private pool's heap counters
+// and quarantine epoch.
 type DomainState struct {
-	Name string        `json:"name"`
-	Key  vkey.KeyState `json:"key"`
-	Pool heap.Stats    `json:"pool"`
+	Name  string        `json:"name"`
+	Key   vkey.KeyState `json:"key"`
+	Pool  heap.Stats    `json:"pool"`
+	Epoch uint64        `json:"epoch,omitempty"` // per-domain quarantine epoch
 }
 
 // Occupancy joins the vkey table's structured snapshot with the
@@ -149,6 +151,9 @@ func (m *Manager) Occupancy() Occupancy {
 		ds := DomainState{Name: d.Name, Key: byID[d.VKey]}
 		if st, ok := m.alloc.DomainStats(d.Name); ok {
 			ds.Pool = st
+		}
+		if ep, ok := m.alloc.DomainEpoch(d.Name); ok {
+			ds.Epoch = ep
 		}
 		occ.Domains = append(occ.Domains, ds)
 	}
@@ -255,6 +260,30 @@ func (m *Manager) Free(addr vm.Addr) error {
 // Stats returns the domain's pool counters.
 func (m *Manager) Stats(d *Domain) (heap.Stats, bool) {
 	return m.alloc.DomainStats(d.Name)
+}
+
+// Pin exempts the domain's logical key from LRU eviction — the
+// resilience layer's shield for healthy latency-critical tenants while
+// a flapping neighbour half-open-probes (vkey.Table.Pin semantics).
+func (m *Manager) Pin(name string) error {
+	m.mu.Lock()
+	d, ok := m.domains[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDomain, name)
+	}
+	return m.table.Pin(d.VKey)
+}
+
+// Unpin makes the domain's logical key evictable again.
+func (m *Manager) Unpin(name string) error {
+	m.mu.Lock()
+	d, ok := m.domains[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDomain, name)
+	}
+	return m.table.Unpin(d.VKey)
 }
 
 // Enter switches the register into a domain through an audited gate: the

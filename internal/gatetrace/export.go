@@ -65,6 +65,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if tr.Evicted {
 			flags += " evicted"
 		}
+		if tr.Breaker {
+			flags += " breaker"
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
 			Args: map[string]string{"name": tr.ID + " tenant=" + tr.Tenant + flags},

@@ -104,6 +104,7 @@ type Trace struct {
 	Faulted   bool          `json:"faulted,omitempty"`
 	Recovered bool          `json:"recovered,omitempty"`
 	Evicted   bool          `json:"evicted,omitempty"`
+	Breaker   bool          `json:"breaker,omitempty"` // moved a tenant circuit breaker
 	Spans     []Span        `json:"spans"`
 }
 
@@ -240,7 +241,7 @@ func (t *Tracer) finish(c *Context, total time.Duration) {
 		return
 	}
 	t.reqLat.With(c.tenant).ObserveEx(uint64(total), c.id)
-	keep := t.cfg.RetainAll || c.faulted || c.recovered || c.evicted ||
+	keep := t.cfg.RetainAll || c.faulted || c.recovered || c.evicted || c.breaker ||
 		(t.cfg.TailThreshold > 0 && total >= t.cfg.TailThreshold)
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -257,6 +258,7 @@ func (t *Tracer) finish(c *Context, total time.Duration) {
 		Faulted:   c.faulted,
 		Recovered: c.recovered,
 		Evicted:   c.evicted,
+		Breaker:   c.breaker,
 		Spans:     c.spans, // ownership transfers; the context is finished
 	}
 	if len(t.retained) < t.cfg.Capacity {
@@ -281,6 +283,7 @@ type Context struct {
 	faulted   bool
 	recovered bool
 	evicted   bool
+	breaker   bool
 	done      bool
 }
 
@@ -376,6 +379,22 @@ func (c *Context) MarkRecovery(action, cause string) {
 	c.Instant("recover:"+action, "", cause)
 }
 
+// MarkBreaker flags the trace as having moved a tenant's circuit
+// breaker and records the transition instant, named "breaker:<state>"
+// ("breaker:open", "breaker:half-open", "breaker:closed") — the naming
+// scripts/tracecheck validates. A breaker-moving trace is always
+// retained: the request that tripped (or recovered) a tenant is exactly
+// the one an operator wants to read.
+func (c *Context) MarkBreaker(toState, tenant, reason string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.breaker = true
+	c.mu.Unlock()
+	c.Instant("breaker:"+toState, tenant, reason)
+}
+
 // MarkEviction flags the trace as having triggered a vkey slot eviction.
 func (c *Context) MarkEviction(victim string, slot mpk.Key) {
 	if c == nil {
@@ -394,7 +413,7 @@ func (c *Context) Flagged() bool {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.faulted || c.recovered || c.evicted
+	return c.faulted || c.recovered || c.evicted || c.breaker
 }
 
 // Finish closes the context: the per-tenant request-latency histogram is

@@ -47,6 +47,10 @@ type ServerConfig struct {
 	// type keeps obs decoupled from the domains package; pass
 	// Manager.Occupancy wrapped as func() any. 404 when nil.
 	Domains func() any
+	// Tenants backs /tenants.json: a callback returning the per-tenant
+	// resilience snapshot (quarantine epochs, breaker states, shed
+	// counts). Same decoupling pattern as Domains. 404 when nil.
+	Tenants func() any
 }
 
 // shutdownTimeout bounds how long Close waits for in-flight requests.
@@ -72,6 +76,7 @@ type Server struct {
 //	/trace          recent trace-ring events, oldest first
 //	/trace.json     retained request traces, Chrome trace_event format (404 without a tracer)
 //	/domains.json   domain/vkey occupancy snapshot (404 without a domains callback)
+//	/tenants.json   per-tenant epoch/breaker/shed state (404 without a tenants callback)
 //	/profile        active profile generation (404 without a store)
 //	/profile/diff   generation diff + re-tighten proposals (404 without a store)
 //	/profile/shadow staged-rollout status (404 without a rollout)
@@ -174,6 +179,13 @@ func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
 			return
 		}
 		writeJSON(w, cfg.Domains())
+	})
+	mux.HandleFunc("/tenants.json", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Tenants == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, cfg.Tenants())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -102,6 +102,65 @@ func TestServerNilBackends(t *testing.T) {
 	}
 }
 
+// TestServerTenantsEndpoint covers /tenants.json: with a callback it
+// serves the per-tenant containment view live (every GET re-invokes the
+// callback), and without one it is a 404, matching the other optional
+// backends' fail-soft convention.
+func TestServerTenantsEndpoint(t *testing.T) {
+	type view struct {
+		Breakers []string          `json:"breakers"`
+		Epochs   map[string]uint64 `json:"epochs"`
+	}
+	calls := 0
+	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{
+		Tenants: func() any {
+			calls++
+			return view{
+				Breakers: []string{"tenant003:open"},
+				Epochs:   map[string]uint64{"tenant003": uint64(calls)},
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv.URL()+"/tenants.json")
+	if code != 200 {
+		t.Fatalf("/tenants.json = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/tenants.json content-type = %q", ct)
+	}
+	var got view
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/tenants.json body: %v\n%s", err, body)
+	}
+	if len(got.Breakers) != 1 || got.Breakers[0] != "tenant003:open" || got.Epochs["tenant003"] != 1 {
+		t.Errorf("/tenants.json = %+v", got)
+	}
+
+	// The view is live, not a snapshot taken at server start.
+	_, body, _ = get(t, srv.URL()+"/tenants.json")
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epochs["tenant003"] != 2 {
+		t.Errorf("second GET epoch = %d, want 2 (callback re-invoked)", got.Epochs["tenant003"])
+	}
+
+	// No callback configured: 404.
+	bare, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if code, _, _ := get(t, bare.URL()+"/tenants.json"); code != 404 {
+		t.Errorf("/tenants.json without callback = %d, want 404", code)
+	}
+}
+
 func TestServerShutdownReleasesGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 	srv, err := obs.ListenAndServe("127.0.0.1:0", obs.ServerConfig{})

@@ -1,12 +1,19 @@
 package pkalloc
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/heap"
 	"repro/internal/mpk"
 	"repro/internal/vm"
 )
+
+// ErrNoDomainPool is returned when a per-domain operation names a pool
+// that does not exist. Supervision distinguishes it from scrub failures:
+// an unresolvable domain escalates to the global quarantine tier, a
+// failing scrub is terminal.
+var ErrNoDomainPool = errors.New("pkalloc: no such domain pool")
 
 // Per-domain pool defaults. Each pool is a fixed-size slice of address
 // space carved from a dedicated window above MU; the window is far larger
@@ -22,6 +29,7 @@ type domainPool struct {
 	name   string
 	region *vm.Region
 	alloc  heap.Allocator
+	epoch  uint64 // incremented by each per-domain quarantine
 }
 
 // ensureDomainsLocked lazily initializes the domain-pool bookkeeping so
@@ -103,6 +111,55 @@ func (a *Allocator) DomainAlloc(name string, size uint64) (vm.Addr, error) {
 		return 0, fmt.Errorf("pkalloc: no domain pool %q", name)
 	}
 	return p.alloc.Alloc(size)
+}
+
+// QuarantineDomain resets one tenant's pool after a compartment failure,
+// exactly the hygiene QuarantineUntrusted applies to MU but scoped to a
+// single blast radius: every resident page of that pool is scrubbed to
+// zero, its allocator is replaced with a fresh free list over the same
+// reservation, and the pool's epoch is bumped. Every other tenant's pool
+// — and MT and MU — is untouched, so one hostile tenant's fault no
+// longer invalidates its neighbours' heaps. Returns the pool's new
+// epoch, or ErrNoDomainPool when the name resolves to nothing (the
+// caller's cue to fall back to the global quarantine tier).
+func (a *Allocator) QuarantineDomain(name string) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.pools[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoDomainPool, name)
+	}
+	if err := a.space.ZeroResident(p.region.Base, p.region.Size); err != nil {
+		return 0, fmt.Errorf("pkalloc: quarantine domain pool %q: %w", name, err)
+	}
+	p.alloc = heap.NewFreeList(heap.NewPagePool(p.region), a.space)
+	p.epoch++
+	return p.epoch, nil
+}
+
+// DomainEpoch returns how many times the named pool has been
+// quarantined (false when no such pool exists). Holders of pool
+// pointers compare epochs to detect that a reset invalidated them.
+func (a *Allocator) DomainEpoch(name string) (uint64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.pools[name]
+	if !ok {
+		return 0, false
+	}
+	return p.epoch, true
+}
+
+// DomainEpochs returns the quarantine epoch of every live pool, keyed by
+// domain name — the per-tenant view /tenants.json serves.
+func (a *Allocator) DomainEpochs() map[string]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]uint64, len(a.pools))
+	for name, p := range a.pools {
+		out[name] = p.epoch
+	}
+	return out
 }
 
 // DomainRegion returns the named pool's reservation.

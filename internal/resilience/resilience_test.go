@@ -1,0 +1,203 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fakeClock is a manually-advanced clock for deterministic backoff tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestGroup(clk *fakeClock) *Group {
+	return NewGroup(Config{
+		TripFaults:     3,
+		ProbeAfter:     100 * time.Millisecond,
+		ProbeSuccesses: 2,
+		JitterFrac:     -1, // exact backoff arithmetic in tests
+		Now:            clk.Now,
+	})
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	g := newTestGroup(clk)
+
+	// Closed: everything admitted, faults below the threshold stay closed.
+	for i := 0; i < 2; i++ {
+		if _, err := g.Allow("a"); err != nil {
+			t.Fatalf("closed Allow #%d: %v", i, err)
+		}
+		if tr := g.RecordFault("a"); tr != nil {
+			t.Fatalf("tripped after %d faults: %+v", i+1, tr)
+		}
+	}
+	// Third consecutive fault trips it.
+	tr := g.RecordFault("a")
+	if tr == nil || tr.To != Open || tr.Reason != "consecutive-faults" {
+		t.Fatalf("transition = %+v, want open on consecutive-faults", tr)
+	}
+	if got := tr.Instant(); got != "breaker:open" {
+		t.Errorf("Instant() = %q", got)
+	}
+	if g.State("a") != Open {
+		t.Fatalf("state = %v, want open", g.State("a"))
+	}
+
+	// Open: shed until the backoff elapses.
+	if _, err := g.Allow("a"); !errors.Is(err, ErrTenantQuarantined) {
+		t.Fatalf("open Allow = %v, want ErrTenantQuarantined", err)
+	}
+	if g.Shed("a") != 1 {
+		t.Errorf("shed = %d, want 1", g.Shed("a"))
+	}
+
+	// Backoff elapses: the next Allow is a half-open probe.
+	clk.Advance(150 * time.Millisecond)
+	tr2, err := g.Allow("a")
+	if err != nil || tr2 == nil || tr2.To != HalfOpen {
+		t.Fatalf("probe Allow = %+v, %v; want half-open transition", tr2, err)
+	}
+
+	// Two probe successes close it.
+	if tr := g.RecordSuccess("a"); tr != nil {
+		t.Fatalf("closed after one probe success: %+v", tr)
+	}
+	if _, err := g.Allow("a"); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	tr3 := g.RecordSuccess("a")
+	if tr3 == nil || tr3.To != Closed {
+		t.Fatalf("transition = %+v, want closed", tr3)
+	}
+	if g.State("a") != Closed {
+		t.Fatalf("state = %v, want closed", g.State("a"))
+	}
+}
+
+func TestHalfOpenFaultReopensWithDoubledBackoff(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	g := newTestGroup(clk)
+	for i := 0; i < 3; i++ {
+		g.RecordFault("b")
+	}
+	clk.Advance(150 * time.Millisecond)
+	if _, err := g.Allow("b"); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	tr := g.RecordFault("b")
+	if tr == nil || tr.To != Open || tr.Reason != "probe-faulted" || tr.Trips != 2 {
+		t.Fatalf("transition = %+v, want re-open trip 2", tr)
+	}
+	// Second trip backs off 2× the base: still shedding at base+ε.
+	clk.Advance(150 * time.Millisecond)
+	if _, err := g.Allow("b"); !errors.Is(err, ErrTenantQuarantined) {
+		t.Fatalf("Allow inside doubled backoff = %v, want shed", err)
+	}
+	clk.Advance(100 * time.Millisecond) // 250ms total > 200ms
+	if _, err := g.Allow("b"); err != nil {
+		t.Fatalf("Allow after doubled backoff = %v, want probe", err)
+	}
+}
+
+func TestBudgetBurnTrips(t *testing.T) {
+	g := NewGroup(Config{BurnLimit: 4, Now: func() time.Time { return time.Unix(0, 0) }})
+	if tr := g.RecordBurn("c", 3); tr != nil {
+		t.Fatalf("tripped below burn limit: %+v", tr)
+	}
+	tr := g.RecordBurn("c", 1)
+	if tr == nil || tr.To != Open || tr.Reason != "budget-burn" {
+		t.Fatalf("transition = %+v, want budget-burn open", tr)
+	}
+}
+
+func TestFaultRateTripsWithoutConsecutiveRun(t *testing.T) {
+	g := NewGroup(Config{TripFaults: 100, Window: 4, TripRate: 0.5,
+		Now: func() time.Time { return time.Unix(0, 0) }})
+	// Alternate success/fault: never 100 consecutive, but the window hits
+	// the 50% rate once full.
+	var tripped *Transition
+	for i := 0; i < 8 && tripped == nil; i++ {
+		if i%2 == 0 {
+			g.RecordSuccess("d")
+		} else {
+			tripped = g.RecordFault("d")
+		}
+	}
+	if tripped == nil || tripped.Reason != "fault-rate" {
+		t.Fatalf("transition = %+v, want fault-rate open", tripped)
+	}
+}
+
+func TestJitterIsDeterministicAndPerTenant(t *testing.T) {
+	if jitter("x", 1) != jitter("x", 1) {
+		t.Error("jitter not deterministic")
+	}
+	if jitter("x", 1) == jitter("y", 1) && jitter("x", 2) == jitter("y", 2) {
+		t.Error("jitter identical across tenants for two trips")
+	}
+	if j := jitter("x", 1); j < 0 || j >= 1 {
+		t.Errorf("jitter out of range: %v", j)
+	}
+}
+
+func TestNilGroupIsInert(t *testing.T) {
+	var g *Group
+	if _, err := g.Allow("z"); err != nil {
+		t.Error("nil group refused admission")
+	}
+	if g.RecordFault("z") != nil || g.RecordSuccess("z") != nil || g.RecordBurn("z", 9) != nil {
+		t.Error("nil group produced transitions")
+	}
+	if g.State("z") != Closed || g.Shed("z") != 0 || g.Snapshot() != nil {
+		t.Error("nil group accessors not inert")
+	}
+}
+
+func TestTelemetryAndSnapshot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	g := newTestGroup(clk)
+	g.SetTelemetry(reg)
+	for i := 0; i < 3; i++ {
+		g.RecordFault("t1")
+	}
+	g.Allow("t1") // shed
+	g.RecordSuccess("t2")
+
+	snap := g.Snapshot()
+	if len(snap) != 2 || snap[0].Tenant != "t1" || snap[1].Tenant != "t2" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].State != "open" || snap[0].Trips != 1 || snap[0].Shed != 1 {
+		t.Errorf("t1 state = %+v", snap[0])
+	}
+	if snap[1].State != "closed" {
+		t.Errorf("t2 state = %+v", snap[1])
+	}
+
+	if v, ok := reg.CounterValue("pkrusafe_resilience_trips_total"); !ok || v != 1 {
+		t.Errorf("trips counter = %v, %v", v, ok)
+	}
+	if v, ok := reg.CounterValue("pkrusafe_resilience_shed_total"); !ok || v != 1 {
+		t.Errorf("shed counter = %v, %v", v, ok)
+	}
+}

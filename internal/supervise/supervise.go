@@ -88,6 +88,12 @@ const (
 	// workload that keeps failing must eventually surface, not loop
 	// through an unbounded heal/quarantine cycle.
 	DefaultBudget = 64
+	// DefaultEscalateAfter is how many per-domain quarantines one domain
+	// may absorb before the supervisor escalates to the global tier and
+	// quarantines the shared MU pool as well: a tenant that keeps
+	// corrupting its own heap eventually forfeits the benefit of the
+	// doubt that the damage stayed inside it.
+	DefaultEscalateAfter = 8
 )
 
 // Config parameterizes a Supervisor.
@@ -107,6 +113,11 @@ type Config struct {
 	// quarantines, heals) the program may spend. Zero means
 	// DefaultBudget; negative means unlimited.
 	Budget int
+	// EscalateAfter is the per-domain quarantine count at which the
+	// supervisor escalates a domain-scoped quarantine to the global tier
+	// (the shared MU pool is scrubbed too). Zero means
+	// DefaultEscalateAfter; negative disables escalation.
+	EscalateAfter int
 }
 
 func (c Config) maxRetries() int {
@@ -124,6 +135,16 @@ func (c Config) budget() int {
 		return DefaultBudget
 	}
 	return c.Budget
+}
+
+func (c Config) escalateAfter() int {
+	if c.EscalateAfter == 0 {
+		return DefaultEscalateAfter
+	}
+	if c.EscalateAfter < 0 {
+		return 0
+	}
+	return c.EscalateAfter
 }
 
 // Terminal outcomes a supervised call can end with (CompartmentError.Outcome
@@ -155,6 +176,10 @@ func (e *PanicError) Error() string {
 type CompartmentError struct {
 	// Call labels the failed call, "lib.fn" for Supervisor.Call.
 	Call string
+	// Domain is the tenant the failure was attributed to (the trace
+	// context's tenant label), "" when the failure could not be scoped to
+	// a domain. Admission layers key their circuit breakers on it.
+	Domain string
 	// Policy is the policy that was in force.
 	Policy Policy
 	// Outcome is the terminal outcome (one of the Outcome* constants).
@@ -166,6 +191,10 @@ type CompartmentError struct {
 }
 
 func (e *CompartmentError) Error() string {
+	if e.Domain != "" {
+		return fmt.Sprintf("supervise: %s [domain %s] failed under policy %s (%s after %d attempt(s)): %v",
+			e.Call, e.Domain, e.Policy, e.Outcome, e.Attempts, e.Err)
+	}
 	return fmt.Sprintf("supervise: %s failed under policy %s (%s after %d attempt(s)): %v",
 		e.Call, e.Policy, e.Outcome, e.Attempts, e.Err)
 }

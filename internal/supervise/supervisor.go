@@ -35,14 +35,18 @@ type Deps struct {
 // reports and tests. Averted, when non-nil, is the crash report the run
 // would have died with had the policy been Abort.
 type Event struct {
-	Seq     int         `json:"seq"`
-	Policy  string      `json:"policy"`
-	Action  string      `json:"action"` // "retry", "quarantine" or "heal"
-	Call    string      `json:"call"`
-	Attempt int         `json:"attempt"`
-	Cause   string      `json:"cause"`
-	Site    string      `json:"site,omitempty"`  // healed allocation site
-	Epoch   uint64      `json:"epoch,omitempty"` // MU epoch after a quarantine
+	Seq     int    `json:"seq"`
+	Policy  string `json:"policy"`
+	Action  string `json:"action"` // "retry", "quarantine" or "heal"
+	Call    string `json:"call"`
+	Attempt int    `json:"attempt"`
+	Cause   string `json:"cause"`
+	Site    string `json:"site,omitempty"` // healed allocation site
+	// Domain labels the pool a quarantine epoch belongs to: the tenant
+	// whose pool was scrubbed, or "" for the global MU tier. Without it
+	// the bare epoch number is ambiguous across pools.
+	Domain  string      `json:"domain,omitempty"`
+	Epoch   uint64      `json:"epoch,omitempty"` // pool epoch after a quarantine
 	Averted *obs.Report `json:"averted,omitempty"`
 }
 
@@ -62,6 +66,7 @@ type Supervisor struct {
 	events     []Event
 	budgetLeft int
 	unlimited  bool
+	domainQuar map[string]int // per-domain quarantine counts, for escalation
 }
 
 type supTelemetry struct {
@@ -69,6 +74,7 @@ type supTelemetry struct {
 	outcomes    *telemetry.CounterVec
 	actions     *telemetry.CounterVec
 	healedSites *telemetry.Counter
+	quarantines *telemetry.CounterVec
 }
 
 // New builds a supervisor. A Config with the Abort policy yields nil: no
@@ -86,6 +92,7 @@ func New(cfg Config, deps Deps) *Supervisor {
 		delta:      profile.New(),
 		budgetLeft: cfg.budget(),
 		unlimited:  cfg.budget() < 0,
+		domainQuar: make(map[string]int),
 	}
 	if reg := deps.Telemetry; reg != nil {
 		s.tel = &supTelemetry{
@@ -97,6 +104,8 @@ func New(cfg Config, deps Deps) *Supervisor {
 				"Recovery actions taken, by kind.", "action"),
 			healedSites: reg.Counter("pkrusafe_recovery_healed_sites_total",
 				"Distinct allocation sites migrated MT to MU by healing."),
+			quarantines: reg.CounterVec("pkrusafe_recovery_quarantines_total",
+				"Pool quarantines performed, by domain (\"mu\" is the global tier).", "domain"),
 		}
 	}
 	return s
@@ -184,8 +193,14 @@ func (s *Supervisor) Shield(t *ffi.Thread, label string, body func() error) erro
 			return fmt.Errorf("%w: post-unwind rights %v escalate checkpoint %v",
 				ffi.ErrGateTampered, t.VM.Rights(), cp.Rights())
 		}
+		// The faulting domain is resolved from the request's trace context:
+		// its tenant label is the domain the gates of this request entered,
+		// so a Quarantine policy can scrub that tenant's pool alone instead
+		// of every tenant's heap. A label that names no domain pool (the
+		// legacy two-compartment workload, or an unattributable fault)
+		// falls back to the global MU tier inside quarantine().
 		before := s.eventCount()
-		done, terr := s.recoverOnce(label, err, attempt)
+		done, terr := s.recoverOnce(label, tc.Tenant(), err, attempt)
 		if ev, ok := s.lastEventSince(before); ok {
 			tc.MarkRecovery(ev.Action, ev.Cause)
 		}
@@ -233,42 +248,44 @@ func runProtected(body func() error) (err error) {
 	return body()
 }
 
-// recoverOnce applies one round of the policy to a failed attempt. It
+// recoverOnce applies one round of the policy to a failed attempt.
+// domain is the tenant the failure was attributed to ("" when none). It
 // returns done=true with the terminal error when the call must fail, or
 // done=false when the caller should re-execute the body.
-func (s *Supervisor) recoverOnce(label string, cause error, attempt int) (done bool, terr error) {
+func (s *Supervisor) recoverOnce(label, domain string, cause error, attempt int) (done bool, terr error) {
 	if !s.takeBudget() {
-		return true, s.terminal(label, OutcomeBudgetExceeded, attempt, cause)
+		return true, s.terminal(label, domain, OutcomeBudgetExceeded, attempt, cause)
 	}
 	switch s.cfg.Policy {
 	case Retry:
 		if attempt > s.cfg.maxRetries() {
-			return true, s.terminal(label, OutcomeRetriesExceeded, attempt, cause)
+			return true, s.terminal(label, domain, OutcomeRetriesExceeded, attempt, cause)
 		}
-		s.note(Event{Action: "retry", Call: label, Attempt: attempt, Cause: cause.Error()})
+		s.note(Event{Action: "retry", Call: label, Attempt: attempt, Cause: cause.Error(), Domain: domain})
 		s.backoff(attempt)
 		return false, nil
 
 	case Quarantine:
-		if qerr := s.quarantine(label, attempt, cause); qerr != nil {
-			return true, s.terminal(label, OutcomeQuarantined, attempt, qerr)
+		if qerr := s.quarantine(label, domain, attempt, cause); qerr != nil {
+			return true, s.terminal(label, domain, OutcomeQuarantined, attempt, qerr)
 		}
-		return true, s.terminal(label, OutcomeQuarantined, attempt, cause)
+		return true, s.terminal(label, domain, OutcomeQuarantined, attempt, cause)
 
 	case Heal:
 		entry, rep, ok := s.resolveSite(cause)
 		if !ok {
 			// Nothing to heal (panic, MAPERR, untracked or non-MT
-			// address): scrub MU anyway so whatever the failing callee
-			// left behind cannot poison later requests, and fail the call.
-			_ = s.quarantine(label, attempt, cause)
-			return true, s.terminal(label, OutcomeUnhealable, attempt, cause)
+			// address): scrub the faulting tenant's pool (or MU) anyway so
+			// whatever the failing callee left behind cannot poison later
+			// requests, and fail the call.
+			_ = s.quarantine(label, domain, attempt, cause)
+			return true, s.terminal(label, domain, OutcomeUnhealable, attempt, cause)
 		}
 		if attempt > s.cfg.maxRetries() {
-			return true, s.terminal(label, OutcomeRetriesExceeded, attempt, cause)
+			return true, s.terminal(label, domain, OutcomeRetriesExceeded, attempt, cause)
 		}
 		if herr := s.healSite(entry, rep, label, attempt, cause); herr != nil {
-			return true, s.terminal(label, OutcomeHealFailed, attempt, herr)
+			return true, s.terminal(label, domain, OutcomeHealFailed, attempt, herr)
 		}
 		s.backoff(attempt)
 		return false, nil
@@ -278,20 +295,74 @@ func (s *Supervisor) recoverOnce(label string, cause error, attempt int) (done b
 	}
 }
 
-// quarantine resets the untrusted pool and logs the action.
-func (s *Supervisor) quarantine(label string, attempt int, cause error) error {
+// quarantine scrubs the blast radius of a compartment failure. When the
+// failure is attributed to a domain with its own pool, only that pool is
+// reset (per-tenant epoch bump) — one hostile tenant's fault must not
+// invalidate its neighbours' heaps. A failure with no attributable pool
+// lands on the global tier: the shared MU pool, the original
+// whole-untrusted-world quarantine. A domain that keeps getting
+// quarantined escalates to the global tier too (Config.EscalateAfter).
+func (s *Supervisor) quarantine(label, domain string, attempt int, cause error) error {
 	if s.alloc == nil {
 		return fmt.Errorf("supervise: no allocator to quarantine: %w", cause)
 	}
+	if domain != "" {
+		epoch, qerr := s.alloc.QuarantineDomain(domain)
+		switch {
+		case qerr == nil:
+			s.mu.Lock()
+			s.domainQuar[domain]++
+			n := s.domainQuar[domain]
+			s.mu.Unlock()
+			s.note(Event{Action: "quarantine", Call: label, Attempt: attempt,
+				Cause: cause.Error(), Domain: domain, Epoch: epoch})
+			if s.ring != nil {
+				s.ring.Emit(trace.Event{Kind: trace.Recover, A: epoch, Note: "quarantine:" + domain})
+			}
+			if tel := s.tel; tel != nil {
+				tel.quarantines.With(domain).Inc()
+			}
+			if limit := s.cfg.escalateAfter(); limit > 0 && n >= limit && n%limit == 0 {
+				return s.quarantineGlobal(label, attempt, cause, "escalated:"+domain)
+			}
+			return nil
+		case errors.Is(qerr, pkalloc.ErrNoDomainPool):
+			// No pool by that name: fall through to the global tier.
+		default:
+			return qerr
+		}
+	}
+	return s.quarantineGlobal(label, attempt, cause, "quarantine")
+}
+
+// quarantineGlobal resets the shared MU pool — the escalation tier, and
+// the only tier for failures no domain pool claims.
+func (s *Supervisor) quarantineGlobal(label string, attempt int, cause error, note string) error {
 	if qerr := s.alloc.QuarantineUntrusted(); qerr != nil {
 		return qerr
 	}
 	epoch := s.alloc.UntrustedEpoch()
 	s.note(Event{Action: "quarantine", Call: label, Attempt: attempt, Cause: cause.Error(), Epoch: epoch})
 	if s.ring != nil {
-		s.ring.Emit(trace.Event{Kind: trace.Recover, A: epoch, Note: "quarantine"})
+		s.ring.Emit(trace.Event{Kind: trace.Recover, A: epoch, Note: note})
+	}
+	if tel := s.tel; tel != nil {
+		tel.quarantines.With("mu").Inc()
 	}
 	return nil
+}
+
+// DomainQuarantines returns how many times the named domain's pool has
+// been quarantined by this supervisor (not the pool epoch: a pool
+// quarantined by another supervisor, or before this one was built,
+// counts only there).
+func (s *Supervisor) DomainQuarantines(domain string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.domainQuar[domain]
 }
 
 // resolveSite decides whether cause is a healable fault: a PKUERR on the
@@ -469,7 +540,8 @@ func (s *Supervisor) noteOutcome(outcome string) {
 	}
 }
 
-func (s *Supervisor) terminal(label, outcome string, attempts int, cause error) error {
+func (s *Supervisor) terminal(label, domain, outcome string, attempts int, cause error) error {
 	s.noteOutcome(outcome)
-	return &CompartmentError{Call: label, Policy: s.cfg.Policy, Outcome: outcome, Attempts: attempts, Err: cause}
+	return &CompartmentError{Call: label, Domain: domain, Policy: s.cfg.Policy,
+		Outcome: outcome, Attempts: attempts, Err: cause}
 }

@@ -50,9 +50,16 @@ const DefaultInactiveKey mpk.Key = 15
 var ErrUnknownKey = errors.New("vkey: unknown or freed logical key")
 
 // ErrNoSlots is returned when Activate needs a hardware slot and every
-// slot is pinned by a key that cannot be evicted (all slots active with
-// eviction disabled — cannot happen with a normal Config).
+// slot is held by a key that cannot be evicted — all active keys are
+// pinned. The activation fails closed rather than evicting a pinned
+// latency-critical tenant.
 var ErrNoSlots = errors.New("vkey: no hardware slot available")
+
+// ErrPinLimit is returned by Pin when granting the pin could leave the
+// table without a single evictable slot: at most nslots-1 keys may be
+// pinned at once, so an activation can always find an LRU victim and the
+// workload keeps its liveness no matter how many tenants ask for pins.
+var ErrPinLimit = errors.New("vkey: pin limit reached, would leave no evictable slot")
 
 // ErrKeyBusy is returned by Free for a logical key that is live on some
 // register's compartment stack: a thread is currently executing inside
@@ -88,6 +95,7 @@ type entry struct {
 	hw        mpk.Key // valid only when active
 	active    bool    // bound to a hardware slot
 	faulted   bool
+	pinned    bool // exempt from LRU eviction (libmpk pkey_pin)
 	ranges    []span
 	lastUse   uint64 // LRU clock tick of the most recent Activate
 	evictions uint64 // times this key was pushed off a slot by LRU
@@ -109,6 +117,7 @@ type Stats struct {
 	Active  int // logical keys currently bound to a hardware slot
 	Parked  int // logical keys evicted to the inactive key
 	Faulted int // live logical keys marked faulted
+	Pinned  int // live logical keys exempt from LRU eviction
 
 	Activations   uint64 // Activate calls
 	SlotHits      uint64 // Activate found the key already bound
@@ -147,6 +156,7 @@ type Table struct {
 	recycled      uint64
 	invalidations uint64
 	faulted       int
+	pinned        int
 
 	// staleEvict, when set, sabotages eviction by skipping the retag of
 	// the victim's pages — the planted stale-slot-after-eviction bug the
@@ -251,6 +261,9 @@ func (t *Table) Free(id ID) error {
 	}
 	if e.faulted {
 		t.faulted--
+	}
+	if e.pinned {
+		t.pinned--
 	}
 	delete(t.entries, id)
 	t.publish()
@@ -510,15 +523,74 @@ func (t *Table) TruncateTo(reg mpk.RightsRegister, depth int) {
 	t.stacks[reg] = st[:depth]
 }
 
-// lruLocked picks the active entry with the oldest lastUse.
+// lruLocked picks the evictable active entry with the oldest lastUse.
+// Pinned entries are never candidates — the libmpk pkey_pin semantics:
+// a latency-critical tenant's slot survives a noisy neighbour's churn.
+// Returns nil when every active entry is pinned (Activate fails closed
+// with ErrNoSlots).
 func (t *Table) lruLocked() *entry {
 	var victim *entry
 	for _, e := range t.slots {
+		if e.pinned {
+			continue
+		}
 		if victim == nil || e.lastUse < victim.lastUse {
 			victim = e
 		}
 	}
 	return victim
+}
+
+// Pin exempts the logical key from LRU eviction: while pinned, its
+// hardware slot (once bound) cannot be stolen by another key's
+// activation — the libmpk pkey_pin precedent, used by the resilience
+// layer to protect healthy latency-critical tenants while a flapping
+// tenant half-open-probes its way back. Pinning a parked key is legal;
+// the exemption takes effect at its next activation. Pins are
+// eviction-aware: at most nslots-1 keys may be pinned, so the table
+// always keeps one evictable slot and activations never starve; a pin
+// past that limit is refused with ErrPinLimit rather than traded
+// against liveness.
+func (t *Table) Pin(id ID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownKey, id)
+	}
+	if !e.pinned {
+		if t.pinned >= t.nslots-1 {
+			return fmt.Errorf("%w: %d of %d slots", ErrPinLimit, t.pinned, t.nslots)
+		}
+		e.pinned = true
+		t.pinned++
+		t.publish()
+	}
+	return nil
+}
+
+// Unpin makes the logical key evictable again.
+func (t *Table) Unpin(id ID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownKey, id)
+	}
+	if e.pinned {
+		e.pinned = false
+		t.pinned--
+		t.publish()
+	}
+	return nil
+}
+
+// Pinned reports whether the logical key is currently pinned.
+func (t *Table) Pinned(id ID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	return ok && e.pinned
 }
 
 // unbindLocked pushes an active entry off its slot: pages are parked on
@@ -657,6 +729,7 @@ type KeyState struct {
 	Active    bool    `json:"active"`
 	Slot      mpk.Key `json:"slot"` // valid when Active
 	Faulted   bool    `json:"faulted,omitempty"`
+	Pinned    bool    `json:"pinned,omitempty"`
 	Evictions uint64  `json:"evictions"`
 	StackRefs int     `json:"stack_refs"` // live compartment-stack frames holding this key
 }
@@ -703,6 +776,7 @@ func (t *Table) Occupancy() Occupancy {
 			Active:    e.active,
 			Slot:      e.hw,
 			Faulted:   e.faulted,
+			Pinned:    e.pinned,
 			Evictions: e.evictions,
 			StackRefs: refs[e.id],
 		})
@@ -736,6 +810,7 @@ func (t *Table) statsLocked() Stats {
 		Active:        len(t.slots),
 		Parked:        len(t.entries) - len(t.slots),
 		Faulted:       t.faulted,
+		Pinned:        t.pinned,
 		Activations:   t.activations,
 		SlotHits:      t.slotHits,
 		SlotMisses:    t.slotMisses,
@@ -751,6 +826,7 @@ type tableTelemetry struct {
 	parked  *telemetry.Gauge
 	faulted *telemetry.Gauge
 	logical *telemetry.Gauge
+	pinned  *telemetry.Gauge
 
 	activations   *telemetry.Counter
 	misses        *telemetry.Counter
@@ -775,6 +851,7 @@ func (t *Table) SetTelemetry(reg *telemetry.Registry) {
 		parked:  reg.Gauge("pkrusafe_vkey_parked", "Logical protection keys evicted to the inactive key."),
 		faulted: reg.Gauge("pkrusafe_vkey_faulted", "Live logical protection keys marked faulted."),
 		logical: reg.Gauge("pkrusafe_vkey_logical", "Live logical protection keys (active + parked)."),
+		pinned:  reg.Gauge("pkrusafe_vkey_pinned", "Live logical protection keys exempt from LRU eviction."),
 		activations: reg.Counter("pkrusafe_vkey_activations_total",
 			"Activate calls resolving a logical key to a hardware slot."),
 		misses: reg.Counter("pkrusafe_vkey_slot_misses_total",
@@ -801,6 +878,7 @@ func (t *Table) publish() {
 	tel.parked.Set(float64(st.Parked))
 	tel.faulted.Set(float64(st.Faulted))
 	tel.logical.Set(float64(st.Logical))
+	tel.pinned.Set(float64(st.Pinned))
 	setCounter(tel.activations, st.Activations)
 	setCounter(tel.misses, st.SlotMisses)
 	setCounter(tel.evictions, st.Evictions)

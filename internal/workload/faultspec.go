@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FaultSpec is a parsed -inject-fault directive: which tenant's requests
+// get a synthetic compartment fault, and how often. The zero value
+// injects nothing.
+type FaultSpec struct {
+	// Tenant scopes injection to one tenant's requests; "" injects into
+	// the global request stream (the legacy every-Nth form).
+	Tenant string
+	// Every injects into every Nth request of the scope (tenant-local
+	// sequence when Tenant is set, global sequence otherwise). Zero
+	// disables injection.
+	Every int
+}
+
+// Enabled reports whether the spec injects anything.
+func (s FaultSpec) Enabled() bool { return s.Every > 0 }
+
+// Hits reports whether the seq-th request of the spec's scope (1-based)
+// takes an injected fault.
+func (s FaultSpec) Hits(tenant string, seq int) bool {
+	if s.Every <= 0 {
+		return false
+	}
+	if s.Tenant != "" && tenant != s.Tenant {
+		return false
+	}
+	return seq%s.Every == 0
+}
+
+func (s FaultSpec) String() string {
+	if !s.Enabled() {
+		return "off"
+	}
+	if s.Tenant == "" {
+		return fmt.Sprintf("every %d requests", s.Every)
+	}
+	return fmt.Sprintf("%s: every %d requests", s.Tenant, s.Every)
+}
+
+// ParseFaultSpec parses the -inject-fault flag value. Accepted forms:
+//
+//	""             no injection
+//	"0"            no injection
+//	"40"           every 40th request, any tenant (the legacy form)
+//	"tenant3:0.2"  20% of tenant3's requests (deterministically, every
+//	               5th — a rate r becomes the period round(1/r), so
+//	               rehearsals replay byte-identically)
+//	"tenant3:5"    every 5th of tenant3's requests
+func ParseFaultSpec(s string) (FaultSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "0" {
+		return FaultSpec{}, nil
+	}
+	tenant, freq := "", s
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		tenant, freq = s[:i], s[i+1:]
+		if tenant == "" {
+			return FaultSpec{}, fmt.Errorf("workload: bad fault spec %q: empty tenant", s)
+		}
+	}
+	if n, err := strconv.Atoi(freq); err == nil {
+		if n < 0 {
+			return FaultSpec{}, fmt.Errorf("workload: bad fault spec %q: negative period", s)
+		}
+		return FaultSpec{Tenant: tenant, Every: n}, nil
+	}
+	rate, err := strconv.ParseFloat(freq, 64)
+	if err != nil {
+		return FaultSpec{}, fmt.Errorf("workload: bad fault spec %q: %w", s, err)
+	}
+	if rate <= 0 || rate > 1 {
+		return FaultSpec{}, fmt.Errorf("workload: bad fault spec %q: rate must be in (0, 1]", s)
+	}
+	return FaultSpec{Tenant: tenant, Every: int(1/rate + 0.5)}, nil
+}

@@ -1,0 +1,52 @@
+package workload
+
+import "testing"
+
+func TestParseFaultSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    FaultSpec
+		wantErr bool
+	}{
+		{in: "", want: FaultSpec{}},
+		{in: "0", want: FaultSpec{}},
+		{in: "40", want: FaultSpec{Every: 40}},
+		{in: "tenant3:0.2", want: FaultSpec{Tenant: "tenant3", Every: 5}},
+		{in: "tenant3:5", want: FaultSpec{Tenant: "tenant3", Every: 5}},
+		{in: "tenant003:0.5", want: FaultSpec{Tenant: "tenant003", Every: 2}},
+		{in: ":0.2", wantErr: true},
+		{in: "tenant3:", wantErr: true},
+		{in: "tenant3:1.5", wantErr: true},
+		{in: "tenant3:-4", wantErr: true},
+		{in: "bogus", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseFaultSpec(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseFaultSpec(%q) = %+v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseFaultSpec(%q) = %+v, %v; want %+v", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestFaultSpecHits(t *testing.T) {
+	s := FaultSpec{Tenant: "t3", Every: 5}
+	if s.Hits("t1", 5) {
+		t.Error("hit on wrong tenant")
+	}
+	if s.Hits("t3", 4) || !s.Hits("t3", 5) || !s.Hits("t3", 10) {
+		t.Error("period arithmetic wrong")
+	}
+	global := FaultSpec{Every: 2}
+	if !global.Hits("anyone", 2) || global.Hits("anyone", 3) {
+		t.Error("global spec scoping wrong")
+	}
+	if (FaultSpec{}).Hits("t3", 5) {
+		t.Error("zero spec injected")
+	}
+}

@@ -83,6 +83,8 @@ func checkTimeline(path string) {
 		gate, fault, recover bool
 		name                 string
 	}
+	breakerStates := map[string]bool{"open": true, "half-open": true, "closed": true}
+	breakers := 0
 	arcs := make(map[int]*arc)
 	at := func(tid int) *arc {
 		a, ok := arcs[tid]
@@ -118,6 +120,14 @@ func checkTimeline(path string) {
 			if strings.HasPrefix(ev.Name, "recover:") {
 				at(ev.TID).recover = true
 			}
+			if rest, ok := strings.CutPrefix(ev.Name, "breaker:"); ok {
+				// Circuit-breaker transition instants carry the new state
+				// in the name; anything else is a malformed emitter.
+				if !breakerStates[rest] {
+					fail("%s: event %d: breaker instant with unknown state %q", path, i, rest)
+				}
+				breakers++
+			}
 		default:
 			fail("%s: event %d (%s): unexpected phase %q", path, i, ev.Name, ev.Phase)
 		}
@@ -135,8 +145,8 @@ func checkTimeline(path string) {
 	if faulted > 0 && complete == 0 {
 		fail("%s: %d faulted trace(s) but none correlates gate + fault + recovery on one trace ID", path, faulted)
 	}
-	fmt.Printf("tracecheck: %s: %d event(s), %d trace(s), %d faulted, %d complete fault arc(s)\n",
-		path, len(doc.TraceEvents), len(arcs), faulted, complete)
+	fmt.Printf("tracecheck: %s: %d event(s), %d trace(s), %d faulted, %d complete fault arc(s), %d breaker transition(s)\n",
+		path, len(doc.TraceEvents), len(arcs), faulted, complete, breakers)
 }
 
 func checkLatency(path string) {
